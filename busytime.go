@@ -1,0 +1,187 @@
+// Package busytime is a library for interval scheduling on parallel
+// machines with bounded parallelism, minimizing total machine busy time or
+// maximizing throughput under a busy-time budget.
+//
+// It reproduces the algorithms of Mertzios, Shalom, Voloshin, Wong and
+// Zaks, "Optimizing Busy Time on Parallel Machines" (IEEE IPDPS 2012;
+// Theoretical Computer Science 562, 2015):
+//
+//   - MinBusy: schedule all jobs on capacity-g machines minimizing the sum
+//     of machine busy times. Exact polynomial algorithms for one-sided
+//     cliques, proper cliques, and cliques with g = 2; a (2−1/g)-
+//     approximation for proper instances; a g·H_g/(H_g+g−1)-approximation
+//     for cliques; FirstFit baselines for everything else.
+//   - MaxThroughput: schedule a maximum subset of jobs within busy-time
+//     budget T. Exact algorithms for one-sided cliques and proper cliques
+//     (including a weighted variant), a 4-approximation for cliques.
+//   - Two-dimensional jobs (time × day rectangles): FirstFit2D and
+//     BucketFirstFit with the paper's logarithmic guarantee.
+//
+// The package is a facade over internal implementation packages; all
+// functionality is reachable from here. Quick start:
+//
+//	in := busytime.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15})
+//	s, algorithm := busytime.MinBusy(in)
+//	fmt.Println(algorithm, s.Cost())
+package busytime
+
+import (
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/igraph"
+	"repro/internal/interval"
+	"repro/internal/job"
+	"repro/internal/localsearch"
+	"repro/internal/rect"
+	"repro/internal/workload"
+)
+
+// Core model types, aliased from the internal packages so values flow
+// freely between the facade and internal APIs.
+type (
+	// Interval is a half-open time interval [Start, End) on int64 ticks.
+	Interval = interval.Interval
+	// Job is an interval job with optional Weight and Demand extensions.
+	Job = job.Job
+	// Instance is a MinBusy input (J, g).
+	Instance = job.Instance
+	// Schedule is a (possibly partial) job-to-machine assignment.
+	Schedule = core.Schedule
+	// Rect is an axis-aligned rectangle, the 2-D job shape of Section 3.4.
+	Rect = rect.Rect
+	// RectJob is a two-dimensional job.
+	RectJob = job.RectJob
+	// RectInstance is a 2-D MinBusy input.
+	RectInstance = job.RectInstance
+	// RectSchedule is a 2-D schedule.
+	RectSchedule = core.RectSchedule
+	// Class is the detected instance class used for dispatch.
+	Class = igraph.Class
+)
+
+// Instance classes, from most general to most structured.
+const (
+	ClassGeneral        = igraph.General
+	ClassProper         = igraph.Proper
+	ClassClique         = igraph.Clique
+	ClassProperClique   = igraph.ProperClique
+	ClassOneSidedClique = igraph.OneSidedClique
+)
+
+// Unscheduled marks a job left out of a partial schedule.
+const Unscheduled = core.Unscheduled
+
+// NewJob returns a unit-weight, unit-demand job over [start, end).
+func NewJob(id int, start, end int64) Job { return job.New(id, start, end) }
+
+// NewInstance builds an instance from (start, end) pairs with capacity g.
+func NewInstance(g int, spans ...[2]int64) Instance { return job.NewInstance(g, spans...) }
+
+// Classify returns the most specific instance class of the job set.
+func Classify(jobs []Job) Class { return igraph.Classify(jobs) }
+
+// MinBusy schedules all jobs with the strongest algorithm applicable to
+// the instance's class and returns the schedule and the algorithm name.
+// It is the entry point most users want.
+func MinBusy(in Instance) (Schedule, string) { return core.MinBusyAuto(in) }
+
+// MaxThroughput schedules a maximum subset of jobs within the busy-time
+// budget using the strongest applicable algorithm, returning the schedule
+// and algorithm name.
+func MaxThroughput(in Instance, budget int64) (Schedule, string) {
+	return core.ThroughputAuto(in, budget)
+}
+
+// Named MinBusy algorithms (see the paper references on each).
+var (
+	// NaivePerJob assigns each job its own machine (Prop 2.1 baseline).
+	NaivePerJob = core.NaivePerJob
+	// FirstFit is the 4-approximation baseline of [13].
+	FirstFit = core.FirstFit
+	// FirstFitFast is FirstFit with interval-treap threads: identical
+	// assignments, O(log n) overlap checks.
+	FirstFitFast = core.FirstFitFast
+	// OneSidedGreedy solves one-sided cliques exactly (Observation 3.1).
+	OneSidedGreedy = core.OneSidedGreedy
+	// CliqueMatching solves cliques with g = 2 exactly (Lemma 3.1).
+	CliqueMatching = core.CliqueMatching
+	// CliqueSetCover approximates cliques within g·H_g/(H_g+g−1) (Lemma 3.2).
+	CliqueSetCover = core.CliqueSetCover
+	// BestCut is the (2−1/g)-approximation for proper instances (Thm 3.1).
+	BestCut = core.BestCut
+	// FindBestConsecutive solves proper cliques exactly (Theorem 3.2).
+	FindBestConsecutive = core.FindBestConsecutive
+)
+
+// Named MaxThroughput algorithms.
+var (
+	// OneSidedThroughput solves one-sided cliques exactly (Prop 4.1).
+	OneSidedThroughput = core.OneSidedThroughput
+	// CliqueThroughput is the 4-approximation for cliques (Theorem 4.1).
+	CliqueThroughput = core.CliqueThroughput
+	// MostThroughputConsecutive solves proper cliques exactly (Thm 4.2).
+	MostThroughputConsecutive = core.MostThroughputConsecutive
+	// MostWeightConsecutive is the weighted extension (Section 5).
+	MostWeightConsecutive = core.MostWeightConsecutive
+	// OneSidedWeightThroughput is the weighted extension on one-sided
+	// cliques (Section 5).
+	OneSidedWeightThroughput = core.OneSidedWeightThroughput
+	// GreedyThroughput is the general-instance heuristic fallback.
+	GreedyThroughput = core.GreedyThroughput
+	// MinBusyViaThroughput is the Proposition 2.2 reduction.
+	MinBusyViaThroughput = core.MinBusyViaThroughput
+)
+
+// Two-dimensional algorithms (Section 3.4).
+var (
+	// FirstFit2D is Algorithm 3 (ratio between 6γ₁+3 and 6γ₁+4, Lemma 3.5).
+	FirstFit2D = core.FirstFit2D
+	// BucketFirstFit is Algorithm 4 with explicit bucket base β.
+	BucketFirstFit = core.BucketFirstFit
+	// BucketFirstFitAuto normalizes γ₁ ≤ γ₂ and uses the paper's β = 3.3.
+	BucketFirstFitAuto = core.BucketFirstFitAuto
+	// NaivePerJob2D is the per-job baseline in two dimensions.
+	NaivePerJob2D = core.NaivePerJob2D
+)
+
+// Exact exponential-time oracles for small instances (n ≤ 18), used to
+// measure approximation quality.
+var (
+	// ExactMinBusy computes an optimal total schedule.
+	ExactMinBusy = exact.MinBusy
+	// ExactMaxThroughput computes an optimal budgeted partial schedule.
+	ExactMaxThroughput = exact.MaxThroughput
+	// ExactMaxWeightThroughput is the weighted oracle.
+	ExactMaxWeightThroughput = exact.MaxWeightThroughput
+)
+
+// Post-optimization.
+var (
+	// ImproveSchedule hill-climbs a valid schedule to a local optimum of
+	// no greater cost (beyond-paper addition, experiment E15).
+	ImproveSchedule = localsearch.Improve
+)
+
+// Workload generation, re-exported for examples and downstream benchmarks.
+type WorkloadConfig = workload.Config
+
+var (
+	// GenerateGeneral returns an unconstrained random instance.
+	GenerateGeneral = workload.General
+	// GenerateClique returns a random clique instance.
+	GenerateClique = workload.Clique
+	// GenerateProper returns a random proper instance.
+	GenerateProper = workload.Proper
+	// GenerateProperClique returns a random proper clique instance.
+	GenerateProperClique = workload.ProperClique
+	// GenerateOneSided returns a one-sided clique instance.
+	GenerateOneSided = workload.OneSided
+	// GenerateCloud returns a cloud-task workload with weights.
+	GenerateCloud = workload.Cloud
+	// GenerateLightpaths returns an optical-network workload.
+	GenerateLightpaths = workload.Lightpaths
+	// GenerateBoundedGammaRects returns a 2-D workload with bounded γ₁.
+	GenerateBoundedGammaRects = workload.BoundedGammaRects
+	// GenerateFigure3 builds the adversarial family of Figure 3.
+	GenerateFigure3 = workload.Figure3
+)

@@ -1,0 +1,109 @@
+package busytime_test
+
+import (
+	"testing"
+
+	busytime "repro"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	in := busytime.NewInstance(2,
+		[2]int64{0, 10}, [2]int64{5, 15}, [2]int64{8, 20}, [2]int64{12, 25})
+	s, alg := busytime.MinBusy(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Throughput() != 4 {
+		t.Fatalf("MinBusy left jobs unscheduled")
+	}
+	if alg == "" {
+		t.Fatal("no algorithm name reported")
+	}
+	if s.Cost() < in.LowerBound() || s.Cost() > in.TotalLen() {
+		t.Fatalf("cost %d outside Observation 2.1 bounds", s.Cost())
+	}
+}
+
+func TestMaxThroughputDispatch(t *testing.T) {
+	cases := []struct {
+		in   busytime.Instance
+		want string
+	}{
+		{busytime.GenerateOneSided(1, busytime.WorkloadConfig{N: 6, G: 2, MaxTime: 50, MaxLen: 20}, true), "one-sided-throughput"},
+		{busytime.GenerateProperClique(1, busytime.WorkloadConfig{N: 6, G: 2, MaxTime: 50, MaxLen: 20}), "most-throughput-consecutive"},
+		{busytime.NewInstance(2, [2]int64{0, 20}, [2]int64{1, 8}, [2]int64{2, 9}), "clique-throughput"},
+		{busytime.NewInstance(2, [2]int64{0, 10}, [2]int64{2, 5}, [2]int64{40, 50}), "greedy-throughput"},
+	}
+	for i, c := range cases {
+		s, alg := busytime.MaxThroughput(c.in, 1000)
+		if alg != c.want {
+			t.Errorf("case %d: dispatched to %q, want %q", i, alg, c.want)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestGreedyThroughputRespectsBudget(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		in := busytime.GenerateGeneral(seed, busytime.WorkloadConfig{N: 15, G: 2, MaxTime: 80, MaxLen: 25})
+		for _, budget := range []int64{0, 10, 50, 200, 10000} {
+			s := busytime.GreedyThroughput(in, budget)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seed %d budget %d: %v", seed, budget, err)
+			}
+			if s.Cost() > budget {
+				t.Fatalf("seed %d: cost %d over budget %d", seed, s.Cost(), budget)
+			}
+		}
+		// Generous budget must schedule everything.
+		s := busytime.GreedyThroughput(in, in.TotalLen())
+		if s.Throughput() != len(in.Jobs) {
+			t.Errorf("seed %d: full budget scheduled %d/%d", seed, s.Throughput(), len(in.Jobs))
+		}
+	}
+}
+
+func TestClassifyExported(t *testing.T) {
+	in := busytime.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15})
+	if c := busytime.Classify(in.Jobs); c != busytime.ClassProperClique {
+		t.Errorf("Classify = %v", c)
+	}
+}
+
+func TestExactOracleExported(t *testing.T) {
+	in := busytime.NewInstance(2, [2]int64{0, 10}, [2]int64{0, 10}, [2]int64{0, 10})
+	s, err := busytime.ExactMinBusy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() != 20 {
+		t.Errorf("exact cost = %d, want 20", s.Cost())
+	}
+	ts, err := busytime.ExactMaxThroughput(in, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Throughput() != 2 {
+		t.Errorf("exact throughput = %d, want 2", ts.Throughput())
+	}
+}
+
+func TestRectFacade(t *testing.T) {
+	in, err := busytime.GenerateFigure3(4, 1, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := busytime.FirstFit2D(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := busytime.BucketFirstFitAuto(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Command busysim generates or loads busy-time scheduling instances, runs
+// a chosen algorithm, and reports cost, throughput, machine count and
+// validity.
+//
+// Usage examples:
+//
+//	busysim -workload clique -n 20 -g 2 -seed 7 -alg auto
+//	busysim -workload proper -n 50 -g 4 -alg bestcut -json
+//	busysim -in instance.json -alg firstfit
+//	busysim -workload proper-clique -n 30 -g 3 -alg throughput -budget 500
+//	busysim -workload general -n 12 -g 2 -alg exact
+//
+// With -json the instance and schedule are printed as JSON for piping into
+// other tools; otherwise a human-readable summary is printed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/igraph"
+	"repro/internal/job"
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "general", "workload family: general|clique|proper|proper-clique|one-sided|cloud|lightpaths")
+		n            = flag.Int("n", 20, "number of jobs")
+		g            = flag.Int("g", 2, "machine capacity (parallelism parameter)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		maxTime      = flag.Int64("maxtime", 200, "workload horizon")
+		maxLen       = flag.Int64("maxlen", 50, "maximum job length")
+		alg          = flag.String("alg", "auto", "algorithm: auto|naive|firstfit|bestcut|matching|setcover|consecutive|onesided|exact|throughput|throughput-exact")
+		budget       = flag.Int64("budget", -1, "busy-time budget for throughput algorithms")
+		inFile       = flag.String("in", "", "load instance JSON instead of generating")
+		outJSON      = flag.Bool("json", false, "emit JSON output")
+		gantt        = flag.Bool("gantt", false, "draw an ASCII Gantt chart of the schedule")
+		width        = flag.Int("width", 80, "Gantt chart width in columns")
+		dump         = flag.Bool("dump", false, "print the instance JSON and exit without solving")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*inFile, *workloadName, *seed, workload.Config{N: *n, G: *g, MaxTime: *maxTime, MaxLen: *maxLen})
+	if err != nil {
+		fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		fatal(err)
+	}
+	if *dump {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(in); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	s, name, err := runAlgorithm(*alg, in, *budget)
+	if err != nil {
+		fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		fatal(fmt.Errorf("algorithm %s produced an invalid schedule: %v", name, err))
+	}
+
+	if *outJSON {
+		emitJSON(in, s, name)
+		return
+	}
+	emitText(in, s, name)
+	if *gantt {
+		fmt.Print(render.Gantt(s, *width))
+	}
+}
+
+func buildInstance(path, family string, seed int64, cfg workload.Config) (job.Instance, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return job.Instance{}, err
+		}
+		var in job.Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return job.Instance{}, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		return in, nil
+	}
+	switch family {
+	case "general":
+		return workload.General(seed, cfg), nil
+	case "clique":
+		return workload.Clique(seed, cfg), nil
+	case "proper":
+		return workload.Proper(seed, cfg), nil
+	case "proper-clique":
+		return workload.ProperClique(seed, cfg), nil
+	case "one-sided":
+		return workload.OneSided(seed, cfg, true), nil
+	case "cloud":
+		return workload.Cloud(seed, cfg), nil
+	case "lightpaths":
+		return workload.Lightpaths(seed, cfg), nil
+	default:
+		return job.Instance{}, fmt.Errorf("unknown workload %q", family)
+	}
+}
+
+func runAlgorithm(alg string, in job.Instance, budget int64) (core.Schedule, string, error) {
+	needBudget := func() (int64, error) {
+		if budget < 0 {
+			return 0, fmt.Errorf("algorithm %q needs -budget", alg)
+		}
+		return budget, nil
+	}
+	switch alg {
+	case "auto":
+		s, name := core.MinBusyAuto(in)
+		return s, name, nil
+	case "naive":
+		return core.NaivePerJob(in), "naive", nil
+	case "firstfit":
+		return core.FirstFit(in), "firstfit", nil
+	case "bestcut":
+		s, err := core.BestCut(in)
+		return s, "bestcut", err
+	case "matching":
+		s, err := core.CliqueMatching(in)
+		return s, "matching", err
+	case "setcover":
+		s, err := core.CliqueSetCover(in)
+		return s, "setcover", err
+	case "consecutive":
+		s, err := core.FindBestConsecutive(in)
+		return s, "consecutive", err
+	case "onesided":
+		s, err := core.OneSidedGreedy(in)
+		return s, "onesided", err
+	case "exact":
+		s, err := exact.MinBusy(in)
+		return s, "exact", err
+	case "throughput":
+		b, err := needBudget()
+		if err != nil {
+			return core.Schedule{}, "", err
+		}
+		s, name := core.ThroughputAuto(in, b)
+		return s, name, nil
+	case "throughput-exact":
+		b, err := needBudget()
+		if err != nil {
+			return core.Schedule{}, "", err
+		}
+		s, err := exact.MaxThroughput(in, b)
+		return s, "throughput-exact", err
+	default:
+		return core.Schedule{}, "", fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+func emitText(in job.Instance, s core.Schedule, name string) {
+	fmt.Printf("instance: n=%d g=%d class=%s len=%d span=%d LB=%d\n",
+		len(in.Jobs), in.G, igraph.Classify(in.Jobs), in.TotalLen(), in.Span(), in.LowerBound())
+	fmt.Printf("algorithm: %s\n", name)
+	fmt.Printf("cost=%d machines=%d scheduled=%d/%d saving=%d\n",
+		s.Cost(), s.Machines(), s.Throughput(), len(in.Jobs), s.Saving())
+}
+
+type output struct {
+	Algorithm string       `json:"algorithm"`
+	Class     string       `json:"class"`
+	Cost      int64        `json:"cost"`
+	Machines  int          `json:"machines"`
+	Scheduled int          `json:"scheduled"`
+	N         int          `json:"n"`
+	Machine   []int        `json:"machine"`
+	Instance  job.Instance `json:"instance"`
+}
+
+func emitJSON(in job.Instance, s core.Schedule, name string) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(output{
+		Algorithm: name,
+		Class:     igraph.Classify(in.Jobs).String(),
+		Cost:      s.Cost(),
+		Machines:  s.Machines(),
+		Scheduled: s.Throughput(),
+		N:         len(in.Jobs),
+		Machine:   s.CompactMachines().Machine,
+		Instance:  in,
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "busysim:", err)
+	os.Exit(1)
+}

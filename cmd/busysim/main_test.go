@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func TestBuildInstanceFamilies(t *testing.T) {
+	cfg := workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30}
+	for _, family := range []string{
+		"general", "clique", "proper", "proper-clique", "one-sided", "cloud", "lightpaths",
+	} {
+		in, err := buildInstance("", family, 1, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if len(in.Jobs) != 8 {
+			t.Errorf("%s: %d jobs", family, len(in.Jobs))
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", family, err)
+		}
+	}
+	if _, err := buildInstance("", "nope", 1, cfg); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestBuildInstanceFromFile(t *testing.T) {
+	in := job.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := buildInstance(path, "ignored", 1, workload.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 2 || got.G != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := buildInstance(filepath.Join(t.TempDir(), "missing.json"), "", 1, workload.Config{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunAlgorithmDispatch(t *testing.T) {
+	clique := workload.Clique(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30})
+	properClique := workload.ProperClique(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30})
+	oneSided := workload.OneSided(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30}, true)
+	proper := workload.Proper(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30})
+
+	cases := []struct {
+		alg    string
+		in     job.Instance
+		budget int64
+	}{
+		{"auto", clique, -1},
+		{"naive", clique, -1},
+		{"firstfit", proper, -1},
+		{"bestcut", proper, -1},
+		{"matching", clique, -1},
+		{"setcover", clique, -1},
+		{"consecutive", properClique, -1},
+		{"onesided", oneSided, -1},
+		{"exact", clique, -1},
+		{"throughput", properClique, 100},
+		{"throughput-exact", clique, 100},
+	}
+	for _, c := range cases {
+		s, name, err := runAlgorithm(c.alg, c.in, c.budget)
+		if err != nil {
+			t.Fatalf("%s: %v", c.alg, err)
+		}
+		if name == "" {
+			t.Errorf("%s: empty algorithm name", c.alg)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", c.alg, err)
+		}
+	}
+}
+
+func TestRunAlgorithmErrors(t *testing.T) {
+	in := workload.General(1, workload.Config{N: 6, G: 2, MaxTime: 50, MaxLen: 20})
+	if _, _, err := runAlgorithm("bogus", in, -1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, _, err := runAlgorithm("throughput", in, -1); err == nil {
+		t.Error("throughput without budget accepted")
+	}
+	if _, _, err := runAlgorithm("matching", in, -1); err == nil {
+		t.Error("matching on non-clique accepted")
+	}
+}

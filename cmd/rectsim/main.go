@@ -1,0 +1,90 @@
+// Command rectsim runs the two-dimensional (Section 3.4) busy-time
+// algorithms: random bounded-γ rectangle workloads or the Figure 3
+// adversarial family, solved with FirstFit2D, BucketFirstFit, or the
+// per-job baseline.
+//
+// Usage examples:
+//
+//	rectsim -workload rects -n 60 -g 3 -gamma 8 -alg bucket
+//	rectsim -workload fig3 -g 12 -gamma 2 -alg ff2d
+//	rectsim -workload fig3 -g 12 -gamma 2 -alg all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/rect"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		family = flag.String("workload", "rects", "workload: rects|fig3")
+		n      = flag.Int("n", 50, "number of jobs (rects workload)")
+		g      = flag.Int("g", 3, "machine capacity")
+		gamma  = flag.Int64("gamma", 4, "max γ₁ (rects) / target γ₁ (fig3)")
+		seed   = flag.Int64("seed", 1, "random seed (rects workload)")
+		alg    = flag.String("alg", "all", "algorithm: ff2d|bucket|naive|all")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*family, *n, *g, *gamma, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: n=%d g=%d gamma1=%.2f area=%d span=%d LB=%d\n",
+		len(in.Jobs), in.G, rect.Gamma(in.Rects(), 1), in.TotalArea(), in.SpanArea(), in.LowerBound())
+
+	runs := map[string]func() (core.RectSchedule, error){
+		"ff2d":   func() (core.RectSchedule, error) { return core.FirstFit2D(in), nil },
+		"bucket": func() (core.RectSchedule, error) { return core.BucketFirstFitAuto(in) },
+		"naive":  func() (core.RectSchedule, error) { return core.NaivePerJob2D(in), nil },
+	}
+	names := []string{*alg}
+	if *alg == "all" {
+		names = []string{"ff2d", "bucket", "naive"}
+	}
+	for _, name := range names {
+		run, ok := runs[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown algorithm %q", name))
+		}
+		s, err := run()
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			fatal(fmt.Errorf("%s produced an invalid schedule: %v", name, err))
+		}
+		fmt.Printf("%-7s cost=%d machines=%d cost/LB=%.3f\n",
+			name, s.Cost(), s.Machines(), float64(s.Cost())/float64(in.LowerBound()))
+	}
+	if *family == "fig3" {
+		predicted := workload.Figure3FirstFitCost(*g, *gamma, 1000, 1)
+		fmt.Printf("fig3: Lemma 3.5 predicts FirstFit2D cost %d (opt UB %d)\n",
+			predicted, workload.Figure3OptUpperBound(*g, *gamma, 1000, 1))
+	}
+}
+
+func buildInstance(family string, n, g int, gamma, seed int64) (job.RectInstance, error) {
+	switch family {
+	case "rects":
+		return workload.BoundedGammaRects(seed, workload.Config{N: n, G: g, MaxTime: 300, MaxLen: 80}, gamma), nil
+	case "fig3":
+		return workload.Figure3(g, gamma, 1000, 1)
+	default:
+		return job.RectInstance{}, fmt.Errorf("unknown workload %q", family)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rectsim:", err)
+	os.Exit(1)
+}

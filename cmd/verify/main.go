@@ -1,0 +1,80 @@
+// Command verify validates a schedule against its instance: capacity
+// feasibility, the Observation 2.1 cost bounds, and (for small instances)
+// the exact optimality gap. It consumes the JSON emitted by
+// `busysim -json`.
+//
+// Usage:
+//
+//	busysim -workload clique -n 12 -g 2 -alg auto -json > out.json
+//	verify -in out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/igraph"
+	"repro/internal/job"
+)
+
+// input mirrors the busysim -json output shape.
+type input struct {
+	Algorithm string       `json:"algorithm"`
+	Machine   []int        `json:"machine"`
+	Instance  job.Instance `json:"instance"`
+}
+
+func main() {
+	inFile := flag.String("in", "", "schedule JSON produced by busysim -json (default stdin)")
+	flag.Parse()
+
+	data, err := readInput(*inFile)
+	if err != nil {
+		fatal(err)
+	}
+	var doc input
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal(fmt.Errorf("parsing input: %v", err))
+	}
+	if err := doc.Instance.Validate(); err != nil {
+		fatal(err)
+	}
+	s := core.Schedule{Instance: doc.Instance, Machine: doc.Machine}
+	if err := s.Validate(); err != nil {
+		fatal(fmt.Errorf("INVALID schedule: %v", err))
+	}
+
+	bounds := core.BoundsOf(doc.Instance)
+	cost := s.Cost()
+	fmt.Printf("schedule: algorithm=%s class=%s n=%d g=%d\n",
+		doc.Algorithm, igraph.Classify(doc.Instance.Jobs), len(doc.Instance.Jobs), doc.Instance.G)
+	fmt.Printf("valid: yes\n")
+	fmt.Printf("cost=%d machines=%d scheduled=%d/%d\n",
+		cost, s.Machines(), s.Throughput(), len(doc.Instance.Jobs))
+	fmt.Printf("bounds: lower=%d length=%d within=%v\n",
+		bounds.Lower(), bounds.Length, bounds.Contains(cost) || s.Throughput() < len(doc.Instance.Jobs))
+
+	if s.Throughput() == len(doc.Instance.Jobs) && len(doc.Instance.Jobs) <= exact.MaxN {
+		opt, err := exact.MinBusyCost(doc.Instance)
+		if err == nil {
+			fmt.Printf("exact optimum=%d ratio=%.4f\n", opt, float64(cost)/float64(opt))
+		}
+	}
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "verify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+package busytime_test
+
+import (
+	"fmt"
+
+	busytime "repro"
+)
+
+// Schedule a proper clique instance: the dispatcher selects the optimal
+// O(n·g) dynamic program of Theorem 3.2.
+func ExampleMinBusy() {
+	in := busytime.NewInstance(2,
+		[2]int64{0, 10},
+		[2]int64{2, 12},
+		[2]int64{4, 14},
+		[2]int64{6, 16},
+	)
+	s, algorithm := busytime.MinBusy(in)
+	fmt.Println(algorithm)
+	fmt.Println("cost:", s.Cost())
+	fmt.Println("machines:", s.Machines())
+	// Output:
+	// find-best-consecutive
+	// cost: 24
+	// machines: 2
+}
+
+// Budgeted throughput on the same instance: with busy-time budget 12 only
+// one machine's worth of jobs fits.
+func ExampleMaxThroughput() {
+	in := busytime.NewInstance(2,
+		[2]int64{0, 10},
+		[2]int64{2, 12},
+		[2]int64{4, 14},
+		[2]int64{6, 16},
+	)
+	s, algorithm := busytime.MaxThroughput(in, 12)
+	fmt.Println(algorithm)
+	fmt.Println("scheduled:", s.Throughput(), "cost:", s.Cost())
+	// Output:
+	// most-throughput-consecutive
+	// scheduled: 2 cost: 12
+}
+
+// Clique instances with g = 2 are solved exactly by maximum-weight
+// matching on the overlap graph (Lemma 3.1).
+func ExampleCliqueMatching() {
+	in := busytime.NewInstance(2,
+		[2]int64{0, 100}, // long job
+		[2]int64{40, 60}, // nested short jobs all overlap it
+		[2]int64{45, 65},
+		[2]int64{50, 70},
+	)
+	s, err := busytime.CliqueMatching(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cost:", s.Cost())
+	// Output:
+	// cost: 125
+}
+
+// Instance classes drive algorithm dispatch.
+func ExampleClassify() {
+	oneSided := busytime.NewInstance(2, [2]int64{0, 5}, [2]int64{0, 9})
+	nested := busytime.NewInstance(2, [2]int64{0, 9}, [2]int64{2, 5})
+	fmt.Println(busytime.Classify(oneSided.Jobs))
+	fmt.Println(busytime.Classify(nested.Jobs))
+	// Output:
+	// one-sided-clique
+	// clique
+}

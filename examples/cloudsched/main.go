@@ -1,0 +1,45 @@
+// Cloudsched models the cloud-computing scenario from the paper's
+// introduction: clients rent machine time on identical capacity-g virtual
+// machines and are billed per busy hour.
+//
+// Part 1 (cost minimization): a batch of tasks with fixed time windows is
+// packed onto machines to minimize the total billed machine-hours,
+// comparing the library's dispatcher against naive provisioning.
+//
+// Part 2 (budgeted throughput): given a fixed machine-hour budget, the
+// scheduler maximizes how many tasks run, sweeping the budget to show the
+// throughput/cost trade-off curve.
+package main
+
+import (
+	"fmt"
+
+	busytime "repro"
+)
+
+func main() {
+	const g = 4 // each VM runs up to 4 tasks concurrently
+	tasks := busytime.GenerateCloud(2024, busytime.WorkloadConfig{
+		N: 60, G: g, MaxTime: 480, MaxLen: 90, // an 8-hour day in minutes
+	})
+
+	fmt.Println("== part 1: minimize billed machine-minutes ==")
+	naive := busytime.NaivePerJob(tasks)
+	packed, algorithm := busytime.MinBusy(tasks)
+	fmt.Printf("tasks: %d, VM capacity: %d\n", len(tasks.Jobs), g)
+	fmt.Printf("one-VM-per-task billing: %d machine-minutes on %d VMs\n",
+		naive.Cost(), naive.Machines())
+	fmt.Printf("packed via %s:          %d machine-minutes on %d VMs (%.1f%% saved)\n",
+		algorithm, packed.Cost(), packed.Machines(),
+		100*float64(naive.Cost()-packed.Cost())/float64(naive.Cost()))
+	fmt.Printf("theoretical lower bound: %d machine-minutes\n", tasks.LowerBound())
+
+	fmt.Println("\n== part 2: budgeted throughput ==")
+	fmt.Println("budget(min)  tasks-run  cost-used")
+	full := packed.Cost()
+	for _, frac := range []int64{10, 25, 50, 75, 100} {
+		budget := full * frac / 100
+		s, _ := busytime.MaxThroughput(tasks, budget)
+		fmt.Printf("%11d  %9d  %9d\n", budget, s.Throughput(), s.Cost())
+	}
+}

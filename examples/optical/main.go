@@ -1,0 +1,73 @@
+// Optical models the regenerator-placement application from the paper's
+// introduction: lightpaths along a line-topology WDM network need
+// regenerators on every segment they traverse, and a regenerator can be
+// shared by at most g lightpaths (traffic grooming). Regenerator cost is
+// proportional to the total length of fiber kept "busy" — exactly the
+// busy-time objective, with network position playing the role of time.
+//
+// The example grooms a hub-and-spoke request pattern, then demonstrates
+// the tree-topology extension of Section 5 on an access-network tree.
+package main
+
+import (
+	"fmt"
+
+	busytime "repro"
+	"repro/internal/topology/tree"
+)
+
+func main() {
+	const groom = 4 // grooming factor g
+	requests := busytime.GenerateLightpaths(7, busytime.WorkloadConfig{
+		N: 40, G: groom, MaxTime: 1000, MaxLen: 200, // a 1000 km line network
+	})
+
+	fmt.Println("== line network (core busy-time model) ==")
+	naive := busytime.NaivePerJob(requests)
+	groomed, algorithm := busytime.MinBusy(requests)
+	fmt.Printf("lightpaths: %d, grooming factor: %d\n", len(requests.Jobs), groom)
+	fmt.Printf("ungroomed regenerator cost: %d km\n", naive.Cost())
+	fmt.Printf("groomed via %s: %d km (%d wavelength groups)\n",
+		algorithm, groomed.Cost(), groomed.Machines())
+	fmt.Printf("fiber span lower bound: %d km\n", requests.Span())
+
+	fmt.Println("\n== access tree (Section 5 extension) ==")
+	// A small access tree: node 0 is the central office; two feeder edges
+	// lead to splitters, each serving leaf buildings.
+	//
+	//            0
+	//          /   \
+	//       (10)   (15)
+	//        1       2
+	//       / \     / \
+	//     (3) (4) (5) (6)
+	//     3    4  5    6
+	tr, err := tree.New(7, []tree.Edge{
+		{U: 0, V: 1, Length: 10},
+		{U: 0, V: 2, Length: 15},
+		{U: 1, V: 3, Length: 3},
+		{U: 1, V: 4, Length: 4},
+		{U: 2, V: 5, Length: 5},
+		{U: 2, V: 6, Length: 6},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// All requests emanate from the central office — a laminar family, the
+	// tree analogue of a one-sided instance, where the greedy is optimal.
+	reqs := []tree.Request{
+		{ID: 0, Path: tr.PathBetween(0, 3)}, // length 13
+		{ID: 1, Path: tr.PathBetween(0, 3)},
+		{ID: 2, Path: tr.PathBetween(0, 4)}, // length 14
+		{ID: 3, Path: tr.PathBetween(0, 1)}, // length 10
+		{ID: 4, Path: tr.PathBetween(0, 6)}, // length 21
+		{ID: 5, Path: tr.PathBetween(0, 5)}, // length 20
+		{ID: 6, Path: tr.PathBetween(0, 2)}, // length 15
+	}
+	asg := tree.GreedyGroom(reqs, 2)
+	fmt.Printf("tree requests: %d, groom factor 2\n", len(reqs))
+	fmt.Printf("regenerator cost: %d km across %d groups\n", asg.Cost, len(asg.Sets))
+	for i, set := range asg.Sets {
+		fmt.Printf("  group %d: requests %v\n", i, set)
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: schedule a handful of interval jobs on capacity-2 machines,
+// minimizing total busy time, then re-solve under a busy-time budget.
+package main
+
+import (
+	"fmt"
+
+	busytime "repro"
+)
+
+func main() {
+	// Four jobs given as [start, end) intervals; machines run at most
+	// g = 2 jobs at a time.
+	in := busytime.NewInstance(2,
+		[2]int64{0, 10},
+		[2]int64{5, 15},
+		[2]int64{8, 20},
+		[2]int64{12, 25},
+	)
+
+	// MinBusy: schedule everything, minimize total machine busy time.
+	s, algorithm := busytime.MinBusy(in)
+	fmt.Printf("class: %v\n", busytime.Classify(in.Jobs))
+	fmt.Printf("algorithm: %s\n", algorithm)
+	fmt.Printf("busy time: %d (lower bound %d, one-machine-per-job %d)\n",
+		s.Cost(), in.LowerBound(), in.TotalLen())
+	for machine, jobs := range s.MachineJobs() {
+		fmt.Printf("  machine %d runs jobs %v\n", machine, jobs)
+	}
+
+	// MaxThroughput: a busy-time budget of 20 — how many jobs fit?
+	budget := int64(20)
+	partial, algorithm := busytime.MaxThroughput(in, budget)
+	fmt.Printf("with budget %d: %d of %d jobs scheduled via %s (cost %d)\n",
+		budget, partial.Throughput(), len(in.Jobs), algorithm, partial.Cost())
+}

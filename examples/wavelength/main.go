@@ -1,0 +1,65 @@
+// Wavelength models the wavelength-assignment application from the
+// paper's introduction: connections along an optical line share fibers,
+// each fiber carries at most W wavelengths, and two overlapping
+// connections on one fiber need different wavelengths. Fiber-length used
+// is the busy-time objective; W is the machine capacity g.
+//
+// The example assigns a connection set to fibers, then explores the
+// budgeted variant (how many connections fit on a fixed amount of lit
+// fiber) and the Section 5 ring-network extension where connections are
+// arcs of a metro ring occupied for a time window.
+package main
+
+import (
+	"fmt"
+
+	busytime "repro"
+	"repro/internal/topology/ring"
+)
+
+func main() {
+	const wavelengths = 8 // W: wavelengths per fiber
+
+	fmt.Println("== line network: fiber minimization ==")
+	conns := busytime.GenerateLightpaths(21, busytime.WorkloadConfig{
+		N: 120, G: wavelengths, MaxTime: 2000, MaxLen: 400,
+	})
+	s, algorithm := busytime.MinBusy(conns)
+	fmt.Printf("connections: %d, W = %d\n", len(conns.Jobs), wavelengths)
+	fmt.Printf("lit fiber via %s: %d km on %d fibers (span bound %d km)\n",
+		algorithm, s.Cost(), s.Machines(), conns.Span())
+	improved := busytime.ImproveSchedule(s, 0)
+	fmt.Printf("after local search: %d km (saved %d)\n",
+		improved.Cost(), s.Cost()-improved.Cost())
+
+	fmt.Println("\n== budgeted admission: connections per lit-fiber budget ==")
+	fmt.Println("budget(km)  admitted")
+	for _, frac := range []int64{25, 50, 75, 100} {
+		budget := improved.Cost() * frac / 100
+		p, _ := busytime.MaxThroughput(conns, budget)
+		fmt.Printf("%10d  %8d\n", budget, p.Throughput())
+	}
+
+	fmt.Println("\n== metro ring (Section 5 extension) ==")
+	metro := ring.Instance{C: 360, G: 4}
+	for i := 0; i < 30; i++ {
+		v := int64(i)
+		start := (v * 47) % 360
+		metro.Jobs = append(metro.Jobs, ring.Job{
+			ID:     i,
+			Arc:    ring.Arc{Start: start, Length: 30 + (v*13)%90},
+			TStart: (v * 7) % 60,
+			TEnd:   (v*7)%60 + 20 + (v*11)%40,
+		})
+	}
+	if err := metro.Validate(); err != nil {
+		panic(err)
+	}
+	rs := ring.FirstFit(metro)
+	if err := rs.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("ring connections: %d, grooming %d\n", len(metro.Jobs), metro.G)
+	fmt.Printf("busy arc-time: %d (lower bound %d) on %d regenerator groups\n",
+		rs.Cost(), metro.LowerBound(), rs.Machines())
+}

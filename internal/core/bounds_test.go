@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+)
+
+func TestSavingToCostRatio(t *testing.T) {
+	// Lemma 2.1 with BestCut's rho = g/(g-1) must give 2 - 1/g.
+	for _, g := range []int{2, 3, 4, 10} {
+		rho := float64(g) / float64(g-1)
+		want := 2 - 1/float64(g)
+		if got := SavingToCostRatio(rho, g); math.Abs(got-want) > 1e-12 {
+			t.Errorf("g=%d: ratio = %v, want %v", g, got, want)
+		}
+	}
+	// rho = 1 (optimal saving) must give ratio 1 regardless of g.
+	if got := SavingToCostRatio(1, 7); math.Abs(got-1) > 1e-12 {
+		t.Errorf("optimal saving ratio = %v", got)
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	in := job.NewInstance(2, [2]int64{0, 10}, [2]int64{0, 10}, [2]int64{20, 30})
+	b := BoundsOf(in)
+	if b.Span != 20 || b.ParallelismBound != 15 || b.Length != 30 {
+		t.Fatalf("bounds = %+v", b)
+	}
+	if b.Lower() != 20 {
+		t.Errorf("Lower = %d", b.Lower())
+	}
+	if !b.Contains(20) || !b.Contains(30) || b.Contains(19) || b.Contains(31) {
+		t.Error("Contains misclassifies")
+	}
+}
+
+func TestBoundsHoldForSchedules(t *testing.T) {
+	in := job.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15}, [2]int64{8, 20})
+	b := BoundsOf(in)
+	for _, s := range []Schedule{NaivePerJob(in), FirstFit(in)} {
+		if !b.Contains(s.Cost()) {
+			t.Errorf("cost %d outside bounds %+v", s.Cost(), b)
+		}
+	}
+}

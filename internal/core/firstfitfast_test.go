@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+// FirstFitFast must produce the identical assignment to FirstFit: same
+// thread-visit order, same tie-breaking, only a faster overlap check.
+func TestFirstFitFastMatchesFirstFit(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, g := range []int{1, 2, 4} {
+			in := workload.General(seed, workload.Config{N: 60, G: g, MaxTime: 300, MaxLen: 80})
+			a := FirstFit(in)
+			b := FirstFitFast(in)
+			for i := range a.Machine {
+				if a.Machine[i] != b.Machine[i] {
+					t.Fatalf("seed %d g %d: assignments differ at job %d: %d vs %d",
+						seed, g, i, a.Machine[i], b.Machine[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFirstFitFastValid(t *testing.T) {
+	in := workload.Lightpaths(3, workload.Config{N: 80, G: 3, MaxTime: 500, MaxLen: 100})
+	s := FirstFitFast(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Throughput() != len(in.Jobs) {
+		t.Fatal("partial schedule")
+	}
+}
+
+// Property: equivalence holds on arbitrary random instances, including
+// heavy-overlap cliques.
+func TestPropertyFirstFitFastEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw, gRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		g := int(gRaw%4) + 1
+		jobs := make([]job.Job, n)
+		for i := range jobs {
+			s := r.Int63n(100)
+			jobs[i] = job.New(i, s, s+1+r.Int63n(60))
+		}
+		in := job.Instance{Jobs: jobs, G: g}
+		a := FirstFit(in)
+		b := FirstFitFast(in)
+		for i := range a.Machine {
+			if a.Machine[i] != b.Machine[i] {
+				return false
+			}
+		}
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

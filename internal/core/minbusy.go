@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/igraph"
+	"repro/internal/job"
+	"repro/internal/matching"
+	"repro/internal/setcover"
+)
+
+// NaivePerJob assigns every job to its own machine. By the length bound
+// (Observation 2.1) any schedule — and in particular this one — is a
+// g-approximation for MinBusy (Proposition 2.1). It is the baseline the
+// saving sav(s) is measured against.
+func NaivePerJob(in job.Instance) Schedule {
+	s := NewSchedule(in)
+	for i := range in.Jobs {
+		s.Assign(i, i)
+	}
+	return s
+}
+
+// FirstFit is the 1-D first-fit algorithm of Flammini et al. [13], the
+// prior-work baseline the paper improves upon: sort jobs by non-increasing
+// length and place each on the first thread of the first machine where it
+// fits. It is a 4-approximation for general instances and a
+// 2-approximation for proper and for clique instances [13].
+func FirstFit(in job.Instance) Schedule {
+	s := NewSchedule(in)
+	// threads[m][t] holds the end-sorted jobs on thread t of machine m.
+	type thread []int
+	var machines [][]thread
+
+	fits := func(th thread, p int) bool {
+		for _, q := range th {
+			if in.Jobs[q].Overlaps(in.Jobs[p]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, p := range byLenDescOrder(in.Jobs) {
+		placed := false
+		for m := 0; m < len(machines) && !placed; m++ {
+			for t := 0; t < len(machines[m]) && !placed; t++ {
+				if fits(machines[m][t], p) {
+					machines[m][t] = append(machines[m][t], p)
+					s.Assign(p, m)
+					placed = true
+				}
+			}
+			if !placed && len(machines[m]) < in.G {
+				machines[m] = append(machines[m], thread{p})
+				s.Assign(p, m)
+				placed = true
+			}
+		}
+		if !placed {
+			machines = append(machines, []thread{{p}})
+			s.Assign(p, len(machines)-1)
+		}
+	}
+	return s
+}
+
+// OneSidedGreedy solves one-sided clique instances of MinBusy optimally
+// (Observation 3.1): sort the jobs by non-increasing length and fill
+// machines with g jobs each in that order. It returns an error when the
+// instance is not a one-sided clique.
+func OneSidedGreedy(in job.Instance) (Schedule, error) {
+	if igraph.OneSidedness(in.Jobs) == igraph.NotOneSided {
+		return Schedule{}, fmt.Errorf("core: OneSidedGreedy requires a one-sided clique instance")
+	}
+	s := NewSchedule(in)
+	for k, p := range byLenDescOrder(in.Jobs) {
+		s.Assign(p, k/in.G)
+	}
+	return s, nil
+}
+
+// CliqueMatching solves clique instances of MinBusy with g = 2 exactly
+// (Lemma 3.1): a valid schedule pairs up jobs (at most two per machine, as
+// all jobs overlap), the saving of a pair is its overlap length, so a
+// maximum-weight matching on the overlap graph minimizes total cost.
+func CliqueMatching(in job.Instance) (Schedule, error) {
+	if in.G != 2 {
+		return Schedule{}, fmt.Errorf("core: CliqueMatching requires g = 2, got g = %d", in.G)
+	}
+	if !igraph.IsClique(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: CliqueMatching requires a clique instance")
+	}
+	n := len(in.Jobs)
+	var edges []matching.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w := in.Jobs[i].Interval.OverlapLen(in.Jobs[j].Interval); w > 0 {
+				edges = append(edges, matching.Edge{U: i, V: j, Weight: w})
+			}
+		}
+	}
+	mate := matching.Max(n, edges)
+	s := NewSchedule(in)
+	machine := 0
+	for i := 0; i < n; i++ {
+		if mate[i] > i {
+			s.Assign(i, machine)
+			s.Assign(mate[i], machine)
+			machine++
+		} else if mate[i] == Unscheduled {
+			s.Assign(i, machine)
+			machine++
+		}
+	}
+	return s, nil
+}
+
+// MaxCliqueSetCoverJobs bounds the subset enumeration of CliqueSetCover:
+// instances with more than this many candidate subsets are rejected. The
+// default admits e.g. n = 60 at g = 3 or n = 30 at g = 4.
+const MaxCliqueSetCoverSubsets = 5_000_000
+
+// CliqueSetCover approximates clique instances of MinBusy for any fixed g
+// within g·H_g/(H_g + g − 1) (Lemma 3.2). It enumerates all job subsets of
+// size ≤ g and runs three schedules, returning the cheapest:
+//
+//  1. greedy partition on the paper's modified weights g·span(Q) − len(Q)
+//     (the scaled excess over the parallelism bound), restricted to
+//     disjoint candidate sets so the cover is a partition — the paper's
+//     cover-to-schedule step silently assumes this, because the
+//     modified-weight accounting charges every job's length exactly once;
+//  2. greedy cover on plain span weights (monotone, so dropping duplicate
+//     jobs from chosen sets never raises cost), giving the classical
+//     cost ≤ H_g·cost* guarantee;
+//  3. the naive per-job schedule realizing the length bound cost = g·PB.
+//
+// The paper combines inequalities (1) and (3) through a convex mix to get
+// the g·H_g/(H_g+g−1) ratio; taking the minimum of the three schedules
+// inherits that combination (min(a,b) ≤ ρa + (1−ρ)b).
+func CliqueSetCover(in job.Instance) (Schedule, error) {
+	if !igraph.IsClique(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: CliqueSetCover requires a clique instance")
+	}
+	n := len(in.Jobs)
+	if n == 0 {
+		return NewSchedule(in), nil
+	}
+	if c := setcover.Count(n, in.G); c > MaxCliqueSetCoverSubsets {
+		return Schedule{}, fmt.Errorf("core: CliqueSetCover would enumerate %d subsets (max %d); reduce g or n", c, MaxCliqueSetCoverSubsets)
+	}
+
+	best := NaivePerJob(in)
+	bestCost := best.Cost()
+
+	if s, err := CliqueSetCoverModified(in); err == nil && s.Cost() < bestCost {
+		best, bestCost = s, s.Cost()
+	}
+	s, err := CliqueSetCoverPlain(in)
+	if err != nil {
+		return Schedule{}, err
+	}
+	if s.Cost() < bestCost {
+		best = s
+	}
+	return best, nil
+}
+
+// cliqueSubsetSets enumerates all job subsets of size ≤ g with both weight
+// functions used by the set-cover algorithms.
+func cliqueSubsetSets(in job.Instance) (modified, plain []setcover.Set) {
+	g := int64(in.G)
+	setcover.EnumerateSubsets(len(in.Jobs), in.G, func(subset []int) {
+		var length int64
+		// All jobs share a common time, so the union of any subset is a
+		// single interval [min start, max end).
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, p := range subset {
+			iv := in.Jobs[p].Interval
+			length += iv.Len()
+			if iv.Start < lo {
+				lo = iv.Start
+			}
+			if iv.End > hi {
+				hi = iv.End
+			}
+		}
+		span := hi - lo
+		elems := append([]int(nil), subset...)
+		modified = append(modified, setcover.Set{Elements: elems, Weight: g*span - length})
+		plain = append(plain, setcover.Set{Elements: elems, Weight: span})
+	})
+	return modified, plain
+}
+
+// CliqueSetCoverModified is the modified-weight variant alone (greedy
+// partition over weights g·span(Q)−len(Q)) — exposed for the E14 ablation.
+func CliqueSetCoverModified(in job.Instance) (Schedule, error) {
+	if !igraph.IsClique(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: CliqueSetCoverModified requires a clique instance")
+	}
+	n := len(in.Jobs)
+	if n == 0 {
+		return NewSchedule(in), nil
+	}
+	modified, _ := cliqueSubsetSets(in)
+	chosen, err := setcover.GreedyPartition(n, modified)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("core: CliqueSetCoverModified: %v", err)
+	}
+	return scheduleFromGroups(in, setcover.Partition(n, modified, chosen)), nil
+}
+
+// CliqueSetCoverPlain is the plain-span variant alone (classical greedy
+// cover, H_g guarantee) — exposed for the E14 ablation.
+func CliqueSetCoverPlain(in job.Instance) (Schedule, error) {
+	if !igraph.IsClique(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: CliqueSetCoverPlain requires a clique instance")
+	}
+	n := len(in.Jobs)
+	if n == 0 {
+		return NewSchedule(in), nil
+	}
+	_, plain := cliqueSubsetSets(in)
+	chosen, err := setcover.Greedy(n, plain)
+	if err != nil {
+		return Schedule{}, fmt.Errorf("core: CliqueSetCoverPlain: %v", err)
+	}
+	return scheduleFromGroups(in, setcover.Partition(n, plain, chosen)), nil
+}
+
+// SingleCut is the ablation baseline for BestCut: only the phase-g cut
+// (consecutive groups of g from the first job) rather than the best of g
+// offsets. Theorem 3.1's averaging argument shows why trying all offsets
+// matters; E14 measures the gap.
+func SingleCut(in job.Instance) (Schedule, error) {
+	if !igraph.IsProper(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: SingleCut requires a proper instance")
+	}
+	order := byStartOrder(in.Jobs)
+	s := NewSchedule(in)
+	for k, p := range order {
+		s.Assign(p, k/in.G)
+	}
+	return s, nil
+}
+
+// BestCut implements Algorithm 1 of the paper: a (2 − 1/g)-approximation
+// for proper instances of MinBusy (Theorem 3.1). It tries the g "phase
+// offsets" of cutting the start-sorted job sequence into consecutive groups
+// of g, and returns the cheapest resulting schedule.
+//
+// BestCut does not require connectivity: the cut-cost analysis of Theorem
+// 3.1 uses only the span bound, which holds per component, and the
+// schedule produced is valid on any proper instance. It returns an error
+// when the instance is not proper.
+func BestCut(in job.Instance) (Schedule, error) {
+	if !igraph.IsProper(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: BestCut requires a proper instance")
+	}
+	n := len(in.Jobs)
+	if n == 0 {
+		return NewSchedule(in), nil
+	}
+	order := byStartOrder(in.Jobs)
+
+	best := Schedule{}
+	var bestCost int64 = math.MaxInt64
+	for i := 1; i <= in.G; i++ {
+		s := NewSchedule(in)
+		machine := 0
+		// First group: jobs order[0..i).
+		for k := 0; k < i && k < n; k++ {
+			s.Assign(order[k], machine)
+		}
+		machine++
+		for lo := i; lo < n; lo += in.G {
+			hi := lo + in.G
+			if hi > n {
+				hi = n
+			}
+			for k := lo; k < hi; k++ {
+				s.Assign(order[k], machine)
+			}
+			machine++
+		}
+		if c := s.Cost(); c < bestCost {
+			best, bestCost = s, c
+		}
+	}
+	return best, nil
+}
+
+// FindBestConsecutive solves proper clique instances of MinBusy optimally
+// in O(n·g) time (Theorem 3.2, Algorithm 2). By Lemma 3.3 an optimal
+// schedule assigns consecutive jobs (in start order) to each machine, so a
+// one-dimensional DP over cut positions suffices: dp[i] is the optimal
+// cost of the first i jobs, and a machine holding jobs (i−j, i] costs
+// c_i − s_{i−j+1} (the union of consecutive proper clique jobs is one
+// interval).
+func FindBestConsecutive(in job.Instance) (Schedule, error) {
+	if !igraph.IsProperClique(in.Jobs) {
+		return Schedule{}, fmt.Errorf("core: FindBestConsecutive requires a proper clique instance")
+	}
+	n := len(in.Jobs)
+	if n == 0 {
+		return NewSchedule(in), nil
+	}
+	order := byStartOrder(in.Jobs)
+	start := func(k int) int64 { return in.Jobs[order[k]].Start() }
+	end := func(k int) int64 { return in.Jobs[order[k]].End() }
+
+	dp := make([]int64, n+1)
+	cut := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = math.MaxInt64
+		for j := 1; j <= in.G && j <= i; j++ {
+			c := dp[i-j] + end(i-1) - start(i-j)
+			if c < dp[i] {
+				dp[i] = c
+				cut[i] = j
+			}
+		}
+	}
+
+	s := NewSchedule(in)
+	machine := 0
+	for i := n; i > 0; {
+		j := cut[i]
+		for k := i - j; k < i; k++ {
+			s.Assign(order[k], machine)
+		}
+		machine++
+		i -= j
+	}
+	return s, nil
+}
+
+// MinBusyAuto picks the strongest applicable algorithm for the instance
+// class: exact DPs and matchings where the paper gives polynomial exact
+// algorithms, approximation algorithms otherwise. It reports which
+// algorithm ran. Connected components are solved independently (Section 2).
+func MinBusyAuto(in job.Instance) (Schedule, string) {
+	comps := igraph.SplitComponents(in)
+	if len(comps) > 1 {
+		s := NewSchedule(in)
+		posByID := map[int]int{}
+		for i, j := range in.Jobs {
+			posByID[j.ID] = i
+		}
+		machineBase := 0
+		names := map[string]bool{}
+		for _, comp := range comps {
+			sub, name := MinBusyAuto(comp)
+			names[name] = true
+			maxM := -1
+			for k, m := range sub.Machine {
+				if m == Unscheduled {
+					continue
+				}
+				s.Assign(posByID[comp.Jobs[k].ID], machineBase+m)
+				if m > maxM {
+					maxM = m
+				}
+			}
+			machineBase += maxM + 1
+		}
+		parts := make([]string, 0, len(names))
+		for name := range names {
+			parts = append(parts, name)
+		}
+		sort.Strings(parts)
+		return s, "components:" + joinNames(parts)
+	}
+
+	switch igraph.Classify(in.Jobs) {
+	case igraph.OneSidedClique:
+		s, err := OneSidedGreedy(in)
+		if err == nil {
+			return s, "one-sided-greedy"
+		}
+	case igraph.ProperClique:
+		s, err := FindBestConsecutive(in)
+		if err == nil {
+			return s, "find-best-consecutive"
+		}
+	case igraph.Clique:
+		if in.G == 2 {
+			if s, err := CliqueMatching(in); err == nil {
+				return s, "clique-matching"
+			}
+		}
+		if s, err := CliqueSetCover(in); err == nil {
+			return s, "clique-set-cover"
+		}
+	case igraph.Proper:
+		if s, err := BestCut(in); err == nil {
+			return s, "best-cut"
+		}
+	}
+	return FirstFit(in), "first-fit"
+}
+
+func joinNames(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "+"
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/rect"
+	"repro/internal/workload"
+)
+
+func TestFirstFit2DValid(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := workload.BoundedGammaRects(seed, workload.Config{N: 30, G: 3, MaxTime: 100, MaxLen: 30}, 4)
+		s := FirstFit2D(in)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Cost() < in.SpanArea() {
+			t.Errorf("seed %d: cost %d below span bound %d", seed, s.Cost(), in.SpanArea())
+		}
+		if s.Cost() > in.TotalArea() {
+			t.Errorf("seed %d: cost %d above length bound %d", seed, s.Cost(), in.TotalArea())
+		}
+	}
+}
+
+func TestFirstFit2DSingleMachineWhenDisjoint(t *testing.T) {
+	in := job.RectInstance{G: 1, Jobs: []job.RectJob{
+		job.NewRectJob(0, 0, 10, 0, 10),
+		job.NewRectJob(1, 20, 30, 0, 10),
+		job.NewRectJob(2, 40, 50, 0, 10),
+	}}
+	s := FirstFit2D(in)
+	if s.Machines() != 1 {
+		t.Errorf("disjoint rects should share one thread: %d machines", s.Machines())
+	}
+	if s.Cost() != 300 {
+		t.Errorf("cost = %d", s.Cost())
+	}
+}
+
+// Lemma 3.5 upper bound: FirstFit2D ≤ (6γ₁+4)·OPT. We check against the
+// instance lower bound (≤ OPT), which only strengthens the test.
+func TestFirstFit2DUpperBound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, gamma := range []int64{1, 3} {
+			in := workload.BoundedGammaRects(seed, workload.Config{N: 25, G: 2, MaxTime: 60, MaxLen: 20}, gamma)
+			g1 := rect.Gamma(in.Rects(), 1)
+			s := FirstFit2D(in)
+			bound := (6*g1 + 4) * float64(in.LowerBound())
+			if float64(s.Cost()) > bound+1e-9 {
+				t.Errorf("seed %d gamma %d: cost %d > (6γ+4)·LB = %.1f", seed, gamma, s.Cost(), bound)
+			}
+		}
+	}
+}
+
+// Figure 3: the adversarial family must drive FirstFit2D to exactly the
+// predicted g·span(Y) cost, and its ratio to the optimum upper bound
+// approaches 6γ₁+3 as g grows and eps shrinks.
+func TestFigure3LowerBound(t *testing.T) {
+	g, gamma := 12, int64(2)
+	scale, eps := int64(1000), int64(1)
+	in, err := workload.Figure3(g, gamma, scale, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rect.Gamma(in.Rects(), 1); got != float64(gamma) {
+		t.Fatalf("instance gamma1 = %v, want %d", got, gamma)
+	}
+	s := FirstFit2D(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	predicted := workload.Figure3FirstFitCost(g, gamma, scale, eps)
+	if s.Cost() != predicted {
+		t.Fatalf("FirstFit2D cost = %d, lower-bound proof predicts %d", s.Cost(), predicted)
+	}
+	if s.Machines() != g {
+		t.Errorf("machines = %d, want g = %d", s.Machines(), g)
+	}
+	optUB := workload.Figure3OptUpperBound(g, gamma, scale, eps)
+	ratio := float64(s.Cost()) / float64(optUB)
+	// Lemma 3.5's closed form for this family:
+	//   g·(1+2γ−ε′)(3−ε′) / (g + 6γ − 1)
+	// which tends to 6γ+3 as g → ∞ and ε′ → 0.
+	e := float64(eps) / float64(scale)
+	want := float64(g) * (1 + 2*float64(gamma) - e) * (3 - e) / float64(g+6*int(gamma)-1)
+	if diff := ratio - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("ratio = %.6f, closed form predicts %.6f", ratio, want)
+	}
+}
+
+// The closed-form lower-bound ratio must approach 6γ+3 as g grows — the
+// statement of Lemma 3.5 — and the simulated ratio must track it.
+func TestFigure3ClosedFormApproachesAsymptote(t *testing.T) {
+	gamma := int64(2)
+	form := func(g int) float64 {
+		return float64(g) * (1 + 2*float64(gamma)) * 3 / float64(g+6*int(gamma)-1)
+	}
+	if got := form(100000); got < float64(6*gamma+3)-0.01 {
+		t.Errorf("closed form at huge g = %.3f, want near %d", got, 6*gamma+3)
+	}
+}
+
+// Growing g must push the Figure-3 ratio monotonically toward 6γ₁+3.
+func TestFigure3RatioImprovesWithG(t *testing.T) {
+	gamma, scale, eps := int64(1), int64(1000), int64(1)
+	prev := 0.0
+	for _, g := range []int{4, 8, 16, 32} {
+		in, err := workload.Figure3(g, gamma, scale, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := FirstFit2D(in)
+		ratio := float64(s.Cost()) / float64(workload.Figure3OptUpperBound(g, gamma, scale, eps))
+		if ratio < prev {
+			t.Errorf("ratio decreased at g=%d: %.3f < %.3f", g, ratio, prev)
+		}
+		prev = ratio
+	}
+	// Closed form at g=32, γ=1, ε′→0 is 9·32/37 ≈ 7.78.
+	if prev < 7.5 {
+		t.Errorf("ratio at g=32 is %.3f, expected ≈ 7.78", prev)
+	}
+}
+
+func TestFigure3Rejects(t *testing.T) {
+	if _, err := workload.Figure3(3, 1, 1000, 1); err == nil {
+		t.Error("accepted g < 4")
+	}
+	if _, err := workload.Figure3(4, 0, 1000, 1); err == nil {
+		t.Error("accepted gamma < 1")
+	}
+	if _, err := workload.Figure3(4, 1, 1000, 1000); err == nil {
+		t.Error("accepted eps >= scale")
+	}
+}
+
+func TestBucketFirstFitValidAndBounded(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := workload.BoundedGammaRects(seed, workload.Config{N: 40, G: 3, MaxTime: 120, MaxLen: 25}, 8)
+		s, err := BucketFirstFit(in, DefaultBucketBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Theorem 3.3 bound against the instance lower bound.
+		g1 := rect.Gamma(in.Rects(), 1)
+		bound := (13.82*log2(g1) + 30) * float64(in.LowerBound())
+		gBound := float64(in.G) * float64(in.LowerBound())
+		if b := minf(bound, gBound); float64(s.Cost()) > b+1e-9 {
+			t.Errorf("seed %d: cost %d > bound %.1f", seed, s.Cost(), b)
+		}
+	}
+}
+
+func TestBucketFirstFitRejectsBadBeta(t *testing.T) {
+	in := workload.BoundedGammaRects(1, workload.Config{N: 5, G: 2, MaxTime: 50, MaxLen: 10}, 2)
+	if _, err := BucketFirstFit(in, 1.0); err == nil {
+		t.Fatal("accepted beta = 1")
+	}
+}
+
+func TestBucketFirstFitBucketsSeparateScales(t *testing.T) {
+	// Two groups with len1 ratio 100: bucketing must not mix them, and the
+	// result must still be valid.
+	in := job.RectInstance{G: 2, Jobs: []job.RectJob{
+		job.NewRectJob(0, 0, 10, 0, 10),
+		job.NewRectJob(1, 0, 10, 5, 15),
+		job.NewRectJob(2, 0, 1000, 0, 10),
+		job.NewRectJob(3, 0, 1000, 5, 15),
+	}}
+	s, err := BucketFirstFit(in, DefaultBucketBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine[0] == s.Machine[2] || s.Machine[1] == s.Machine[3] {
+		t.Errorf("buckets mixed scales: %v", s.Machine)
+	}
+}
+
+func TestBucketFirstFitAutoTransposes(t *testing.T) {
+	// gamma1 huge, gamma2 = 1: auto must bucket on dimension 2.
+	in := job.RectInstance{G: 2, Jobs: []job.RectJob{
+		job.NewRectJob(0, 0, 1000, 0, 10),
+		job.NewRectJob(1, 0, 10, 5, 15),
+	}}
+	s, err := BucketFirstFitAuto(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Machine) != 2 {
+		t.Fatal("lost jobs")
+	}
+}
+
+func TestNaivePerJob2D(t *testing.T) {
+	in := workload.BoundedGammaRects(2, workload.Config{N: 6, G: 2, MaxTime: 50, MaxLen: 10}, 2)
+	s := NaivePerJob2D(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() != in.TotalArea() {
+		t.Errorf("naive 2D cost = %d, want %d", s.Cost(), in.TotalArea())
+	}
+	if s.Machines() != 6 {
+		t.Errorf("machines = %d", s.Machines())
+	}
+}
+
+func TestTransposeRects(t *testing.T) {
+	in := job.RectInstance{G: 1, Jobs: []job.RectJob{job.NewRectJob(0, 1, 2, 3, 9)}}
+	tr := TransposeRects(in)
+	r := tr.Jobs[0].Rect
+	if r.D1.Start != 3 || r.D1.End != 9 || r.D2.Start != 1 || r.D2.End != 2 {
+		t.Errorf("transpose = %v", r)
+	}
+}
+
+func log2(x float64) float64 {
+	if x < 1 {
+		return 0
+	}
+	return math.Log2(x)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

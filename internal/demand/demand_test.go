@@ -1,0 +1,112 @@
+package demand
+
+import (
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func TestParallelismBound(t *testing.T) {
+	in := job.NewInstance(4, [2]int64{0, 10}, [2]int64{0, 10})
+	in.Jobs[0].Demand = 3
+	in.Jobs[1].Demand = 1
+	// Weighted length = 3*10 + 1*10 = 40; /4 = 10.
+	if got := ParallelismBound(in); got != 10 {
+		t.Errorf("ParallelismBound = %d, want 10", got)
+	}
+	if got := LowerBound(in); got != 10 {
+		t.Errorf("LowerBound = %d", got)
+	}
+}
+
+func TestFirstFitPacksWithinCapacity(t *testing.T) {
+	in := job.NewInstance(3, [2]int64{0, 10}, [2]int64{0, 10}, [2]int64{0, 10})
+	in.Jobs[0].Demand = 2
+	in.Jobs[1].Demand = 1
+	in.Jobs[2].Demand = 2
+	s := FirstFit(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Throughput() != 3 {
+		t.Fatal("FirstFit must schedule everything")
+	}
+	// Demands 2+1 fit one machine; demand 2 needs another: cost 20.
+	if s.Cost() != 20 {
+		t.Errorf("cost = %d, want 20", s.Cost())
+	}
+}
+
+func TestFirstFitUnitDemandsWithinBounds(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := workload.General(seed, workload.Config{N: 10, G: 3, MaxTime: 60, MaxLen: 20})
+		s := FirstFit(in)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if s.Cost() < in.LowerBound() || s.Cost() > in.TotalLen() {
+			t.Errorf("seed %d: cost %d outside bounds", seed, s.Cost())
+		}
+	}
+}
+
+func TestFirstFitRandomDemandsValid(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		base := workload.General(seed, workload.Config{N: 12, G: 4, MaxTime: 60, MaxLen: 20})
+		in := workload.WithDemands(seed+100, base, 3)
+		s := FirstFit(in)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d FirstFit: %v", seed, err)
+		}
+		if s.Cost() < LowerBound(in) {
+			t.Errorf("seed %d: cost %d below demand lower bound %d", seed, s.Cost(), LowerBound(in))
+		}
+		sd := FirstFitByDemand(in)
+		if err := sd.Validate(); err != nil {
+			t.Fatalf("seed %d FirstFitByDemand: %v", seed, err)
+		}
+		if sd.Throughput() != len(in.Jobs) || s.Throughput() != len(in.Jobs) {
+			t.Fatalf("seed %d: partial schedule", seed)
+		}
+	}
+}
+
+func TestFirstFitVsExactOnSmallDemandInstances(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		base := workload.General(seed, workload.Config{N: 8, G: 3, MaxTime: 40, MaxLen: 15})
+		in := workload.WithDemands(seed+7, base, 2)
+		opt, err := exact.MinBusyCost(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := FirstFit(in)
+		if s.Cost() < opt {
+			t.Errorf("seed %d: heuristic %d beat exact %d", seed, s.Cost(), opt)
+		}
+		// No proven guarantee; sanity-check against the trivial g-factor.
+		if s.Cost() > int64(in.G)*opt {
+			t.Errorf("seed %d: heuristic %d exceeds g*opt %d", seed, s.Cost(), int64(in.G)*opt)
+		}
+	}
+}
+
+func TestFirstFitByDemandOrdersBigRocksFirst(t *testing.T) {
+	// A demand-g job plus unit jobs: demand-first placement must put the
+	// big job alone and pack units together.
+	in := job.NewInstance(2, [2]int64{0, 10}, [2]int64{0, 10}, [2]int64{0, 10})
+	in.Jobs[0].Demand = 1
+	in.Jobs[1].Demand = 2
+	in.Jobs[2].Demand = 1
+	s := FirstFitByDemand(in)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Cost() != 20 {
+		t.Errorf("cost = %d, want 20", s.Cost())
+	}
+	if s.Machine[0] != s.Machine[2] {
+		t.Errorf("unit jobs should share a machine: %v", s.Machine)
+	}
+}

@@ -1,0 +1,201 @@
+// Package exact provides exponential-time exact solvers for MinBusy and
+// MaxThroughput on small instances.
+//
+// Both solvers run a dynamic program over subsets of jobs: a machine's job
+// set is an arbitrary subset of size-compatible jobs, so
+//
+//	cost*(S) = min over valid Q ⊆ S containing the lowest job of S of
+//	           span(Q) + cost*(S \ Q)
+//
+// which evaluates in O(3^n) time and O(2^n) space. These solvers are the
+// ground truth every approximation experiment in EXPERIMENTS.md measures
+// against; they are deliberately capped at MaxN jobs.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/job"
+)
+
+// MaxN is the largest instance size the exact solvers accept. 3^20 subset
+// enumerations is already ~3.5·10⁹; 18 keeps unit tests fast while leaving
+// benchmarks room to stress the oracle.
+const MaxN = 18
+
+// MinBusy computes an optimal MinBusy schedule by subset DP. It returns an
+// error (rather than panicking) for oversized instances so callers can fall
+// back to approximations.
+func MinBusy(in job.Instance) (core.Schedule, error) {
+	n := len(in.Jobs)
+	if n > MaxN {
+		return core.Schedule{}, fmt.Errorf("exact: %d jobs exceeds MaxN = %d", n, MaxN)
+	}
+	if err := in.Validate(); err != nil {
+		return core.Schedule{}, err
+	}
+	if n == 0 {
+		return core.NewSchedule(in), nil
+	}
+
+	spanOf, validQ := subsetTables(in)
+	size := 1 << n
+	cost := make([]int64, size)
+	pick := make([]int, size)
+	for mask := 1; mask < size; mask++ {
+		cost[mask] = math.MaxInt64
+		low := mask & -mask
+		rest := mask ^ low
+		// Enumerate subsets Q of mask containing low: Q = low | sub for
+		// every subset sub of rest.
+		for sub := rest; ; sub = (sub - 1) & rest {
+			q := low | sub
+			if validQ[q] {
+				c := spanOf[q] + cost[mask^q]
+				if c < cost[mask] {
+					cost[mask] = c
+					pick[mask] = q
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+
+	s := core.NewSchedule(in)
+	machine := 0
+	for mask := size - 1; mask != 0; {
+		q := pick[mask]
+		for m := q; m != 0; m &= m - 1 {
+			s.Assign(bits.TrailingZeros(uint(m)), machine)
+		}
+		machine++
+		mask ^= q
+	}
+	return s, nil
+}
+
+// MinBusyCost returns only the optimal cost (same DP as MinBusy).
+func MinBusyCost(in job.Instance) (int64, error) {
+	s, err := MinBusy(in)
+	if err != nil {
+		return 0, err
+	}
+	return s.Cost(), nil
+}
+
+// MaxThroughput computes an optimal partial schedule of at most budget
+// total busy time that maximizes the number of scheduled jobs, breaking
+// ties toward lower cost. It runs the MinBusy subset DP once, then scans
+// all subsets.
+func MaxThroughput(in job.Instance, budget int64) (core.Schedule, error) {
+	return maxThroughput(in, budget, func(mask int) int64 {
+		return int64(bits.OnesCount(uint(mask)))
+	})
+}
+
+// MaxWeightThroughput is MaxThroughput with job weights (Section 5
+// extension): it maximizes total scheduled weight within the budget.
+func MaxWeightThroughput(in job.Instance, budget int64) (core.Schedule, error) {
+	return maxThroughput(in, budget, func(mask int) int64 {
+		var w int64
+		for m := mask; m != 0; m &= m - 1 {
+			w += in.Jobs[bits.TrailingZeros(uint(m))].Weight
+		}
+		return w
+	})
+}
+
+func maxThroughput(in job.Instance, budget int64, value func(mask int) int64) (core.Schedule, error) {
+	n := len(in.Jobs)
+	if n > MaxN {
+		return core.Schedule{}, fmt.Errorf("exact: %d jobs exceeds MaxN = %d", n, MaxN)
+	}
+	if err := in.Validate(); err != nil {
+		return core.Schedule{}, err
+	}
+	if budget < 0 {
+		return core.NewSchedule(in), nil
+	}
+
+	spanOf, validQ := subsetTables(in)
+	size := 1 << n
+	cost := make([]int64, size)
+	pick := make([]int, size)
+	for mask := 1; mask < size; mask++ {
+		cost[mask] = math.MaxInt64
+		low := mask & -mask
+		rest := mask ^ low
+		for sub := rest; ; sub = (sub - 1) & rest {
+			q := low | sub
+			if validQ[q] {
+				c := spanOf[q] + cost[mask^q]
+				if c < cost[mask] {
+					cost[mask] = c
+					pick[mask] = q
+				}
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+
+	bestMask := 0
+	var bestVal int64
+	var bestCost int64
+	for mask := 0; mask < size; mask++ {
+		if cost[mask] > budget {
+			continue
+		}
+		v := value(mask)
+		if v > bestVal || (v == bestVal && cost[mask] < bestCost) {
+			bestMask, bestVal, bestCost = mask, v, cost[mask]
+		}
+	}
+
+	s := core.NewSchedule(in)
+	machine := 0
+	for mask := bestMask; mask != 0; {
+		q := pick[mask]
+		for m := q; m != 0; m &= m - 1 {
+			s.Assign(bits.TrailingZeros(uint(m)), machine)
+		}
+		machine++
+		mask ^= q
+	}
+	return s, nil
+}
+
+// subsetTables precomputes, for every subset mask, the span of its jobs
+// and whether it can run on one capacity-g machine (max concurrency ≤ g).
+//
+// Span composes incrementally: span(Q ∪ {j}) is recomputed from the union
+// decomposition. To stay O(2^n · n) we recompute from scratch per mask over
+// its members, which is fine for n ≤ MaxN.
+func subsetTables(in job.Instance) (spanOf []int64, validQ []bool) {
+	n := len(in.Jobs)
+	size := 1 << n
+	spanOf = make([]int64, size)
+	validQ = make([]bool, size)
+	validQ[0] = false
+	ivs := make([]interval.Interval, 0, n)
+	demands := make([]int64, 0, n)
+	for mask := 1; mask < size; mask++ {
+		ivs = ivs[:0]
+		demands = demands[:0]
+		for m := mask; m != 0; m &= m - 1 {
+			j := in.Jobs[bits.TrailingZeros(uint(m))]
+			ivs = append(ivs, j.Interval)
+			demands = append(demands, j.Demand)
+		}
+		spanOf[mask] = interval.Span(ivs)
+		validQ[mask] = interval.WeightedMaxConcurrency(ivs, demands) <= int64(in.G)
+	}
+	return spanOf, validQ
+}

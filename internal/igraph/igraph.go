@@ -1,0 +1,276 @@
+// Package igraph builds the interval graph of a job set and classifies
+// instances into the special classes the paper's algorithms target.
+//
+// The interval graph has one vertex per job and an edge between jobs whose
+// processing intervals overlap (Section 1). The classes recognized here
+// drive algorithm selection:
+//
+//   - clique instances: all jobs share a common time;
+//   - proper instances: no job properly contains another;
+//   - one-sided instances: cliques where all start times or all completion
+//     times coincide (Section 2, "Special cases").
+package igraph
+
+import (
+	"sort"
+
+	"repro/internal/interval"
+	"repro/internal/job"
+)
+
+// Graph is the interval graph of an instance. Adjacency is stored as
+// sorted neighbor lists indexed by job position (not job ID).
+type Graph struct {
+	jobs []job.Job
+	adj  [][]int
+}
+
+// Build constructs the interval graph in O(n log n + m) time using a
+// sweep over start-sorted jobs.
+func Build(jobs []job.Job) *Graph {
+	n := len(jobs)
+	g := &Graph{jobs: append([]job.Job(nil), jobs...), adj: make([][]int, n)}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return jobs[order[a]].Start() < jobs[order[b]].Start()
+	})
+
+	// active holds indices of jobs whose interval may still overlap future
+	// starts, kept as a min-heap by end time via periodic compaction.
+	var active []int
+	for _, idx := range order {
+		cur := jobs[idx]
+		keep := active[:0]
+		for _, other := range active {
+			if jobs[other].End() > cur.Start() {
+				keep = append(keep, other)
+				g.adj[idx] = append(g.adj[idx], other)
+				g.adj[other] = append(g.adj[other], idx)
+			}
+		}
+		active = append(keep, idx)
+	}
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+	}
+	return g
+}
+
+// N returns the number of vertices (jobs).
+func (g *Graph) N() int { return len(g.jobs) }
+
+// Neighbors returns the sorted adjacency list of vertex i.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Degree returns the number of jobs overlapping job i.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// OverlapWeight returns the overlap length between jobs i and j — the edge
+// weight of the graph G_m used by the g=2 matching algorithm (Lemma 3.1).
+func (g *Graph) OverlapWeight(i, j int) int64 {
+	return g.jobs[i].Interval.OverlapLen(g.jobs[j].Interval)
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted, in order of smallest member. MinBusy decomposes over
+// components (Section 2), so solvers split instances along this partition.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		id := len(comps)
+		queue := []int{start}
+		comp[start] = id
+		var members []int
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			members = append(members, v)
+			for _, w := range g.adj[v] {
+				if comp[w] == -1 {
+					comp[w] = id
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// SplitComponents partitions an instance into one sub-instance per
+// connected component of its interval graph, preserving job IDs.
+func SplitComponents(in job.Instance) []job.Instance {
+	g := Build(in.Jobs)
+	comps := g.ConnectedComponents()
+	out := make([]job.Instance, len(comps))
+	for i, members := range comps {
+		jobs := make([]job.Job, len(members))
+		for k, v := range members {
+			jobs[k] = in.Jobs[v]
+		}
+		out[i] = job.Instance{Jobs: jobs, G: in.G}
+	}
+	return out
+}
+
+// IsClique reports whether the jobs form a clique set: some time is common
+// to all jobs. On the line this holds iff max start < min end.
+func IsClique(jobs []job.Job) bool {
+	if len(jobs) == 0 {
+		return true
+	}
+	_, ok := interval.CommonTime(intervalsOf(jobs))
+	return ok
+}
+
+// CommonTime returns a witness time shared by all jobs of a clique set.
+func CommonTime(jobs []job.Job) (int64, bool) {
+	return interval.CommonTime(intervalsOf(jobs))
+}
+
+// IsProper reports whether no job's interval properly contains another's.
+// Equivalently, sorting by start also sorts by end (Property 3.1).
+func IsProper(jobs []job.Job) bool {
+	n := len(jobs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := jobs[order[a]], jobs[order[b]]
+		if ja.Start() != jb.Start() {
+			return ja.Start() < jb.Start()
+		}
+		return ja.End() < jb.End()
+	})
+	for k := 1; k < n; k++ {
+		prev, cur := jobs[order[k-1]], jobs[order[k]]
+		// prev.Start <= cur.Start; containment iff cur.End <= prev.End and
+		// the intervals differ.
+		if prev.Interval.ProperlyContains(cur.Interval) || cur.Interval.ProperlyContains(prev.Interval) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsProperClique reports whether the set is both proper and a clique.
+func IsProperClique(jobs []job.Job) bool { return IsClique(jobs) && IsProper(jobs) }
+
+// OneSided describes which side of a one-sided clique instance coincides.
+type OneSided int
+
+const (
+	// NotOneSided means the instance is not one-sided.
+	NotOneSided OneSided = iota
+	// SharedStart means all jobs begin at the same time.
+	SharedStart
+	// SharedEnd means all jobs complete at the same time.
+	SharedEnd
+)
+
+// OneSidedness classifies a job set as a one-sided clique instance. A set
+// with all starts equal (or all ends equal) is automatically a clique.
+func OneSidedness(jobs []job.Job) OneSided {
+	if len(jobs) == 0 {
+		return SharedStart
+	}
+	sameStart, sameEnd := true, true
+	for _, j := range jobs[1:] {
+		if j.Start() != jobs[0].Start() {
+			sameStart = false
+		}
+		if j.End() != jobs[0].End() {
+			sameEnd = false
+		}
+	}
+	switch {
+	case sameStart:
+		return SharedStart
+	case sameEnd:
+		return SharedEnd
+	default:
+		return NotOneSided
+	}
+}
+
+// Class is the most specific instance class, used for algorithm dispatch
+// and reporting.
+type Class int
+
+const (
+	// General: no special structure detected.
+	General Class = iota
+	// Proper: no proper containment, not a clique.
+	Proper
+	// Clique: common time, but containment exists.
+	Clique
+	// ProperClique: both proper and clique, not one-sided.
+	ProperClique
+	// OneSidedClique: clique with shared start or shared end.
+	OneSidedClique
+)
+
+// String names the class for reports.
+func (c Class) String() string {
+	switch c {
+	case Proper:
+		return "proper"
+	case Clique:
+		return "clique"
+	case ProperClique:
+		return "proper-clique"
+	case OneSidedClique:
+		return "one-sided-clique"
+	default:
+		return "general"
+	}
+}
+
+// Classify returns the most specific class of the job set.
+func Classify(jobs []job.Job) Class {
+	clique := IsClique(jobs)
+	proper := IsProper(jobs)
+	switch {
+	case clique && OneSidedness(jobs) != NotOneSided:
+		return OneSidedClique
+	case clique && proper:
+		return ProperClique
+	case clique:
+		return Clique
+	case proper:
+		return Proper
+	default:
+		return General
+	}
+}
+
+func intervalsOf(jobs []job.Job) []interval.Interval {
+	ivs := make([]interval.Interval, len(jobs))
+	for i, j := range jobs {
+		ivs[i] = j.Interval
+	}
+	return ivs
+}

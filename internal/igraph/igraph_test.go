@@ -1,0 +1,211 @@
+package igraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/job"
+)
+
+func inst(spans ...[2]int64) []job.Job {
+	return job.NewInstance(1, spans...).Jobs
+}
+
+func TestBuildAdjacency(t *testing.T) {
+	// 0:[0,10) 1:[5,15) 2:[20,30) 3:[9,21)
+	jobs := inst([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{20, 30}, [2]int64{9, 21})
+	g := Build(jobs)
+	wantAdj := [][]int{{1, 3}, {0, 3}, {3}, {0, 1, 2}}
+	for i, want := range wantAdj {
+		got := g.Neighbors(i)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", i, got, want)
+			}
+		}
+	}
+	if g.Edges() != 4 {
+		t.Errorf("Edges = %d, want 4", g.Edges())
+	}
+	if g.Degree(3) != 3 {
+		t.Errorf("Degree(3) = %d", g.Degree(3))
+	}
+}
+
+func TestOverlapWeight(t *testing.T) {
+	jobs := inst([2]int64{0, 10}, [2]int64{5, 15})
+	g := Build(jobs)
+	if w := g.OverlapWeight(0, 1); w != 5 {
+		t.Errorf("OverlapWeight = %d, want 5", w)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	jobs := inst([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{20, 30}, [2]int64{25, 35}, [2]int64{50, 60})
+	g := Build(jobs)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %v", comps)
+	}
+	want := [][]int{{0, 1}, {2, 3}, {4}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for k := range want[i] {
+			if comps[i][k] != want[i][k] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSplitComponents(t *testing.T) {
+	in := job.NewInstance(2, [2]int64{0, 10}, [2]int64{50, 60}, [2]int64{5, 12})
+	subs := SplitComponents(in)
+	if len(subs) != 2 {
+		t.Fatalf("SplitComponents = %v", subs)
+	}
+	if len(subs[0].Jobs) != 2 || subs[0].Jobs[0].ID != 0 || subs[0].Jobs[1].ID != 2 {
+		t.Errorf("first component = %v", subs[0].Jobs)
+	}
+	if subs[0].G != 2 {
+		t.Error("G not preserved")
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	if !IsClique(inst([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{9, 12})) {
+		t.Error("clique not detected")
+	}
+	if IsClique(inst([2]int64{0, 10}, [2]int64{10, 20})) {
+		t.Error("touching chain misdetected as clique")
+	}
+	if !IsClique(nil) {
+		t.Error("empty set should be a clique")
+	}
+}
+
+func TestIsProper(t *testing.T) {
+	if !IsProper(inst([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{8, 20})) {
+		t.Error("staircase should be proper")
+	}
+	if IsProper(inst([2]int64{0, 10}, [2]int64{2, 8})) {
+		t.Error("nested pair should not be proper")
+	}
+	// Equal intervals contain but not properly.
+	if !IsProper(inst([2]int64{0, 10}, [2]int64{0, 10})) {
+		t.Error("duplicate intervals are proper")
+	}
+	// Same start, different ends: proper containment.
+	if IsProper(inst([2]int64{0, 10}, [2]int64{0, 12})) {
+		t.Error("shared-start nested pair should not be proper")
+	}
+}
+
+func TestOneSidedness(t *testing.T) {
+	if OneSidedness(inst([2]int64{0, 5}, [2]int64{0, 9})) != SharedStart {
+		t.Error("shared start not detected")
+	}
+	if OneSidedness(inst([2]int64{1, 9}, [2]int64{4, 9})) != SharedEnd {
+		t.Error("shared end not detected")
+	}
+	if OneSidedness(inst([2]int64{0, 5}, [2]int64{1, 9})) != NotOneSided {
+		t.Error("two-sided misdetected")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		jobs []job.Job
+		want Class
+	}{
+		{inst([2]int64{0, 10}, [2]int64{2, 8}, [2]int64{30, 40}), General},
+		{inst([2]int64{0, 10}, [2]int64{30, 40}), Proper},
+		{inst([2]int64{0, 10}, [2]int64{5, 15}), ProperClique},
+		{inst([2]int64{0, 10}, [2]int64{2, 8}), Clique},
+		{inst([2]int64{0, 10}, [2]int64{0, 15}), OneSidedClique},
+		{inst([2]int64{0, 10}, [2]int64{5, 15}, [2]int64{12, 25}), Proper},
+	}
+	for i, c := range cases {
+		if got := Classify(c.jobs); got != c.want {
+			t.Errorf("case %d: Classify = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		General: "general", Proper: "proper", Clique: "clique",
+		ProperClique: "proper-clique", OneSidedClique: "one-sided-clique",
+	} {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// Property: the sweep-built adjacency matches the O(n^2) definition.
+func TestPropertyAdjacencyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 24)
+		jobs := make([]job.Job, n)
+		for i := range jobs {
+			s := r.Int63n(100)
+			jobs[i] = job.New(i, s, s+1+r.Int63n(40))
+		}
+		g := Build(jobs)
+		for i := 0; i < n; i++ {
+			neighbors := map[int]bool{}
+			for _, w := range g.Neighbors(i) {
+				neighbors[w] = true
+			}
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				if jobs[i].Overlaps(jobs[j]) != neighbors[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: classification is consistent — one-sided implies clique;
+// proper-clique implies both predicates.
+func TestPropertyClassConsistency(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%10) + 1
+		jobs := make([]job.Job, n)
+		for i := range jobs {
+			s := r.Int63n(20)
+			jobs[i] = job.New(i, s, s+1+r.Int63n(20))
+		}
+		switch Classify(jobs) {
+		case OneSidedClique:
+			return IsClique(jobs) && OneSidedness(jobs) != NotOneSided
+		case ProperClique:
+			return IsClique(jobs) && IsProper(jobs)
+		case Clique:
+			return IsClique(jobs) && !IsProper(jobs)
+		case Proper:
+			return IsProper(jobs) && !IsClique(jobs)
+		default:
+			return !IsClique(jobs) && !IsProper(jobs)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

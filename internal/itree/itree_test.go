@@ -1,0 +1,144 @@
+package itree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+)
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if s.Len() != 0 {
+		t.Fatal("empty set has members")
+	}
+	if s.Overlaps(interval.New(0, 10)) {
+		t.Fatal("empty set overlaps")
+	}
+}
+
+func TestInsertDisjoint(t *testing.T) {
+	var s Set
+	for _, iv := range []interval.Interval{
+		interval.New(0, 10), interval.New(20, 30), interval.New(10, 20),
+	} {
+		if !s.Insert(iv) {
+			t.Fatalf("disjoint insert of %v rejected", iv)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestInsertRejectsOverlap(t *testing.T) {
+	var s Set
+	s.Insert(interval.New(0, 10))
+	if s.Insert(interval.New(5, 15)) {
+		t.Fatal("overlapping insert accepted")
+	}
+	if s.Len() != 1 {
+		t.Fatal("rejected insert changed the set")
+	}
+}
+
+func TestInsertRejectsEmpty(t *testing.T) {
+	var s Set
+	if s.Insert(interval.New(5, 5)) {
+		t.Fatal("empty interval accepted")
+	}
+}
+
+func TestOverlapsTouching(t *testing.T) {
+	var s Set
+	s.Insert(interval.New(10, 20))
+	if s.Overlaps(interval.New(0, 10)) || s.Overlaps(interval.New(20, 30)) {
+		t.Fatal("touching intervals misreported as overlapping")
+	}
+	if !s.Overlaps(interval.New(19, 21)) {
+		t.Fatal("true overlap missed")
+	}
+}
+
+func TestIntervalsSorted(t *testing.T) {
+	var s Set
+	ivs := []interval.Interval{
+		interval.New(40, 50), interval.New(0, 10), interval.New(20, 30),
+	}
+	for _, iv := range ivs {
+		s.Insert(iv)
+	}
+	got := s.Intervals()
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Start >= got[i].Start {
+			t.Fatalf("not sorted: %v", got)
+		}
+	}
+}
+
+// Property: the treap agrees with a linear scan on random workloads.
+func TestPropertyMatchesLinearScan(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ops := int(opsRaw%64) + 1
+		var s Set
+		var ref []interval.Interval
+		for k := 0; k < ops; k++ {
+			start := r.Int63n(200)
+			iv := interval.New(start, start+1+r.Int63n(30))
+			refOverlap := false
+			for _, x := range ref {
+				if x.Overlaps(iv) {
+					refOverlap = true
+					break
+				}
+			}
+			if s.Overlaps(iv) != refOverlap {
+				return false
+			}
+			inserted := s.Insert(iv)
+			if inserted == refOverlap {
+				return false // must insert iff no overlap
+			}
+			if inserted {
+				ref = append(ref, iv)
+			}
+			if s.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOverlapsVsLinear(b *testing.B) {
+	var s Set
+	var ref []interval.Interval
+	r := rand.New(rand.NewSource(1))
+	for len(ref) < 2000 {
+		start := r.Int63n(1 << 20)
+		iv := interval.New(start, start+1+r.Int63n(50))
+		if s.Insert(iv) {
+			ref = append(ref, iv)
+		}
+	}
+	probe := interval.New(1<<19, 1<<19+25)
+	b.Run("treap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Overlaps(probe)
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, x := range ref {
+				if x.Overlaps(probe) {
+					break
+				}
+			}
+		}
+	})
+}

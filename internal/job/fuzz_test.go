@@ -1,0 +1,45 @@
+package job
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzInstanceJSON exercises the CLI interchange parser: any input either
+// fails cleanly or round-trips to a validated instance.
+func FuzzInstanceJSON(f *testing.F) {
+	seed := [][]byte{
+		[]byte(`{"g":2,"jobs":[{"id":0,"start":0,"end":10}]}`),
+		[]byte(`{"g":1,"jobs":[]}`),
+		[]byte(`{"g":3,"jobs":[{"id":1,"start":-5,"end":5,"weight":2,"demand":3}]}`),
+		[]byte(`{"g":0}`),
+		[]byte(`{"jobs":[{"id":0,"start":9,"end":2}]}`),
+		[]byte(`not json at all`),
+		[]byte(`{"g":2,"jobs":[{"id":0,"start":0,"end":10},{"id":0,"start":1,"end":2}]}`),
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return // rejected cleanly
+		}
+		// Accepted input must be a valid instance and survive a marshal
+		// round trip.
+		if err := in.Validate(); err != nil {
+			t.Fatalf("accepted invalid instance %+v: %v", in, err)
+		}
+		out, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		var back Instance
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Jobs) != len(in.Jobs) || back.G != in.G {
+			t.Fatalf("round trip changed shape: %+v vs %+v", back, in)
+		}
+	})
+}

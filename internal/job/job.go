@@ -1,0 +1,262 @@
+// Package job defines the job and instance types shared by every layer of
+// the busy-time scheduling library.
+//
+// A job is an interval on the time line during which it must be processed
+// from start to end (Section 1 of the paper). The optional Weight field
+// supports the weighted-throughput extension of Section 5, and the optional
+// Demand field supports the variable-capacity extension of [16]; both
+// default to 1 and are ignored by the core algorithms.
+package job
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/interval"
+	"repro/internal/rect"
+)
+
+// Job is a unit-demand interval job. ID is the job's index within its
+// instance; algorithms report schedules keyed by ID.
+type Job struct {
+	ID       int
+	Interval interval.Interval
+	Weight   int64 // throughput weight (>= 1); 1 for the unweighted problems
+	Demand   int64 // capacity demand (1 <= Demand <= g); 1 for the core model
+}
+
+// New returns a unit-weight unit-demand job with the given id and interval
+// [start, end).
+func New(id int, start, end int64) Job {
+	return Job{ID: id, Interval: interval.New(start, end), Weight: 1, Demand: 1}
+}
+
+// Start returns the job's start time s_J.
+func (j Job) Start() int64 { return j.Interval.Start }
+
+// End returns the job's completion time c_J.
+func (j Job) End() int64 { return j.Interval.End }
+
+// Len returns the processing length of the job.
+func (j Job) Len() int64 { return j.Interval.Len() }
+
+// Overlaps reports whether the two jobs' processing intervals overlap with
+// positive measure, i.e. whether they conflict on a single machine thread.
+func (j Job) Overlaps(other Job) bool { return j.Interval.Overlaps(other.Interval) }
+
+// String renders the job as "J<id>[s,c)".
+func (j Job) String() string { return fmt.Sprintf("J%d%v", j.ID, j.Interval) }
+
+// Instance is a MinBusy input (J, g). A MaxThroughput input additionally
+// carries a budget T, passed separately to the throughput algorithms.
+type Instance struct {
+	Jobs []Job
+	G    int
+}
+
+// NewInstance builds an instance from (start, end) pairs, assigning IDs in
+// order. It is the convenience constructor used by tests and examples.
+func NewInstance(g int, spans ...[2]int64) Instance {
+	jobs := make([]Job, len(spans))
+	for i, s := range spans {
+		jobs[i] = New(i, s[0], s[1])
+	}
+	return Instance{Jobs: jobs, G: g}
+}
+
+// Validate reports the first structural problem with the instance: empty
+// jobs, non-positive capacity, duplicate or out-of-range IDs, or invalid
+// weights/demands.
+func (in Instance) Validate() error {
+	if in.G < 1 {
+		return fmt.Errorf("job: capacity g = %d, need g >= 1", in.G)
+	}
+	seen := make(map[int]bool, len(in.Jobs))
+	for i, j := range in.Jobs {
+		if j.Interval.Empty() {
+			return fmt.Errorf("job: job %d has empty interval %v", i, j.Interval)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("job: duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+		if j.Weight < 1 {
+			return fmt.Errorf("job: job %d has weight %d, need >= 1", j.ID, j.Weight)
+		}
+		if j.Demand < 1 || j.Demand > int64(in.G) {
+			return fmt.Errorf("job: job %d has demand %d outside [1, g=%d]", j.ID, j.Demand, in.G)
+		}
+	}
+	return nil
+}
+
+// Intervals returns the jobs' intervals in instance order.
+func (in Instance) Intervals() []interval.Interval {
+	ivs := make([]interval.Interval, len(in.Jobs))
+	for i, j := range in.Jobs {
+		ivs[i] = j.Interval
+	}
+	return ivs
+}
+
+// TotalLen returns len(J), the sum of job lengths.
+func (in Instance) TotalLen() int64 { return interval.TotalLen(in.Intervals()) }
+
+// Span returns span(J), the measure of the union of all job intervals.
+func (in Instance) Span() int64 { return interval.Span(in.Intervals()) }
+
+// ParallelismBound returns ceil(len(J)/g), the paper's parallelism lower
+// bound rounded up to the integer lattice (costs are integral on integral
+// instances, so rounding up keeps the bound valid).
+func (in Instance) ParallelismBound() int64 {
+	l := in.TotalLen()
+	g := int64(in.G)
+	return (l + g - 1) / g
+}
+
+// LowerBound returns max(parallelism bound, span bound) — the best simple
+// lower bound on cost* from Observation 2.1.
+func (in Instance) LowerBound() int64 {
+	pb := in.ParallelismBound()
+	if sp := in.Span(); sp > pb {
+		return sp
+	}
+	return pb
+}
+
+// Clone returns a deep copy of the instance.
+func (in Instance) Clone() Instance {
+	jobs := make([]Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	return Instance{Jobs: jobs, G: in.G}
+}
+
+// SortedByStart returns a copy of the instance with jobs ordered by
+// non-decreasing start time, ties by non-decreasing end time. For proper
+// instances this is exactly the paper's canonical order J1 <= J2 <= ... <= Jn.
+func (in Instance) SortedByStart() Instance {
+	out := in.Clone()
+	sort.SliceStable(out.Jobs, func(a, b int) bool {
+		ja, jb := out.Jobs[a], out.Jobs[b]
+		if ja.Start() != jb.Start() {
+			return ja.Start() < jb.Start()
+		}
+		return ja.End() < jb.End()
+	})
+	return out
+}
+
+// jsonInstance is the stable on-disk representation used by cmd/busysim.
+type jsonInstance struct {
+	G    int       `json:"g"`
+	Jobs []jsonJob `json:"jobs"`
+}
+
+type jsonJob struct {
+	ID     int   `json:"id"`
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	Weight int64 `json:"weight,omitempty"`
+	Demand int64 `json:"demand,omitempty"`
+}
+
+// MarshalJSON encodes the instance in the CLI interchange format.
+func (in Instance) MarshalJSON() ([]byte, error) {
+	enc := jsonInstance{G: in.G, Jobs: make([]jsonJob, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		enc.Jobs[i] = jsonJob{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight, Demand: j.Demand}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes the CLI interchange format, defaulting weight and
+// demand to 1 when omitted.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var dec jsonInstance
+	if err := json.Unmarshal(data, &dec); err != nil {
+		return err
+	}
+	if dec.G < 1 {
+		return errors.New("job: instance JSON missing positive g")
+	}
+	in.G = dec.G
+	in.Jobs = make([]Job, len(dec.Jobs))
+	for i, j := range dec.Jobs {
+		if j.End < j.Start {
+			return fmt.Errorf("job: job %d has end %d < start %d", j.ID, j.End, j.Start)
+		}
+		w, d := j.Weight, j.Demand
+		if w == 0 {
+			w = 1
+		}
+		if d == 0 {
+			d = 1
+		}
+		in.Jobs[i] = Job{ID: j.ID, Interval: interval.Interval{Start: j.Start, End: j.End}, Weight: w, Demand: d}
+	}
+	return in.Validate()
+}
+
+// RectJob is a two-dimensional job (Section 3.4): a rectangle that must be
+// processed contiguously in both dimensions.
+type RectJob struct {
+	ID   int
+	Rect rect.Rect
+}
+
+// NewRectJob builds a rectangular job [s1,c1) × [s2,c2).
+func NewRectJob(id int, s1, c1, s2, c2 int64) RectJob {
+	return RectJob{ID: id, Rect: rect.New(s1, c1, s2, c2)}
+}
+
+// RectInstance is the 2-D MinBusy input of Section 3.4.
+type RectInstance struct {
+	Jobs []RectJob
+	G    int
+}
+
+// Validate reports the first structural problem with the 2-D instance.
+func (in RectInstance) Validate() error {
+	if in.G < 1 {
+		return fmt.Errorf("job: capacity g = %d, need g >= 1", in.G)
+	}
+	seen := make(map[int]bool, len(in.Jobs))
+	for i, j := range in.Jobs {
+		if j.Rect.Empty() {
+			return fmt.Errorf("job: rect job %d is empty: %v", i, j.Rect)
+		}
+		if seen[j.ID] {
+			return fmt.Errorf("job: duplicate rect job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	return nil
+}
+
+// Rects returns the jobs' rectangles in instance order.
+func (in RectInstance) Rects() []rect.Rect {
+	rs := make([]rect.Rect, len(in.Jobs))
+	for i, j := range in.Jobs {
+		rs[i] = j.Rect
+	}
+	return rs
+}
+
+// TotalArea returns the 2-D len(J).
+func (in RectInstance) TotalArea() int64 { return rect.TotalArea(in.Rects()) }
+
+// SpanArea returns the 2-D span(J).
+func (in RectInstance) SpanArea() int64 { return rect.UnionArea(in.Rects()) }
+
+// LowerBound returns max(ceil(area/g), union area) — Observation 2.1
+// carried over to two dimensions (Section 3.4 notes all three bounds hold).
+func (in RectInstance) LowerBound() int64 {
+	g := int64(in.G)
+	pb := (in.TotalArea() + g - 1) / g
+	if sp := in.SpanArea(); sp > pb {
+		return sp
+	}
+	return pb
+}

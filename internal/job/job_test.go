@@ -1,0 +1,174 @@
+package job
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	j := New(3, 5, 12)
+	if j.ID != 3 || j.Start() != 5 || j.End() != 12 || j.Len() != 7 {
+		t.Errorf("accessors wrong: %+v", j)
+	}
+	if j.Weight != 1 || j.Demand != 1 {
+		t.Errorf("defaults wrong: %+v", j)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a, b, c := New(0, 0, 10), New(1, 10, 20), New(2, 5, 15)
+	if a.Overlaps(b) {
+		t.Error("touching jobs should not overlap")
+	}
+	if !a.Overlaps(c) || !b.Overlaps(c) {
+		t.Error("overlapping jobs not detected")
+	}
+}
+
+func TestNewInstance(t *testing.T) {
+	in := NewInstance(2, [2]int64{0, 5}, [2]int64{3, 9})
+	if len(in.Jobs) != 2 || in.G != 2 {
+		t.Fatalf("NewInstance = %+v", in)
+	}
+	if in.Jobs[1].ID != 1 || in.Jobs[1].Start() != 3 {
+		t.Errorf("job 1 = %+v", in.Jobs[1])
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+	}{
+		{"zero g", Instance{G: 0}},
+		{"empty job", NewInstance(1, [2]int64{5, 5})},
+		{"dup id", Instance{G: 1, Jobs: []Job{New(0, 0, 1), New(0, 2, 3)}}},
+		{"bad weight", Instance{G: 1, Jobs: []Job{{ID: 0, Interval: New(0, 0, 1).Interval, Weight: 0, Demand: 1}}}},
+		{"demand over g", Instance{G: 2, Jobs: []Job{{ID: 0, Interval: New(0, 0, 1).Interval, Weight: 1, Demand: 3}}}},
+	}
+	for _, c := range cases {
+		if err := c.in.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid instance", c.name)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	// Three jobs [0,10), [0,10), [20,30): len=30, span=20.
+	in := NewInstance(2, [2]int64{0, 10}, [2]int64{0, 10}, [2]int64{20, 30})
+	if in.TotalLen() != 30 {
+		t.Errorf("TotalLen = %d", in.TotalLen())
+	}
+	if in.Span() != 20 {
+		t.Errorf("Span = %d", in.Span())
+	}
+	if in.ParallelismBound() != 15 {
+		t.Errorf("ParallelismBound = %d", in.ParallelismBound())
+	}
+	if in.LowerBound() != 20 {
+		t.Errorf("LowerBound = %d, want span bound 20", in.LowerBound())
+	}
+	// With g=3 parallelism bound is 10, span still dominates.
+	in.G = 3
+	if in.LowerBound() != 20 {
+		t.Errorf("LowerBound g=3 = %d", in.LowerBound())
+	}
+}
+
+func TestParallelismBoundRoundsUp(t *testing.T) {
+	in := NewInstance(2, [2]int64{0, 3}) // len 3, g 2 -> ceil(1.5) = 2
+	if in.ParallelismBound() != 2 {
+		t.Errorf("ParallelismBound = %d, want 2", in.ParallelismBound())
+	}
+}
+
+func TestSortedByStart(t *testing.T) {
+	in := Instance{G: 1, Jobs: []Job{New(0, 9, 12), New(1, 0, 5), New(2, 0, 3)}}
+	s := in.SortedByStart()
+	if s.Jobs[0].ID != 2 || s.Jobs[1].ID != 1 || s.Jobs[2].ID != 0 {
+		t.Errorf("sorted order = %v", s.Jobs)
+	}
+	// Original must be untouched.
+	if in.Jobs[0].ID != 0 {
+		t.Error("SortedByStart mutated receiver")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := NewInstance(3, [2]int64{0, 5}, [2]int64{2, 9})
+	in.Jobs[1].Weight = 4
+	in.Jobs[1].Demand = 2
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.G != 3 || len(back.Jobs) != 2 {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if back.Jobs[1].Weight != 4 || back.Jobs[1].Demand != 2 {
+		t.Errorf("weights/demands lost: %+v", back.Jobs[1])
+	}
+	if back.Jobs[0].Weight != 1 || back.Jobs[0].Demand != 1 {
+		t.Errorf("defaults not applied: %+v", back.Jobs[0])
+	}
+}
+
+func TestJSONRejectsBad(t *testing.T) {
+	var in Instance
+	if err := json.Unmarshal([]byte(`{"g":0,"jobs":[]}`), &in); err == nil {
+		t.Error("accepted g=0")
+	}
+	if err := json.Unmarshal([]byte(`{"g":1,"jobs":[{"id":0,"start":5,"end":2}]}`), &in); err == nil {
+		t.Error("accepted reversed interval")
+	}
+}
+
+func TestRectInstance(t *testing.T) {
+	in := RectInstance{G: 2, Jobs: []RectJob{
+		NewRectJob(0, 0, 10, 0, 10),
+		NewRectJob(1, 5, 15, 5, 15),
+	}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.TotalArea() != 200 {
+		t.Errorf("TotalArea = %d", in.TotalArea())
+	}
+	if in.SpanArea() != 175 {
+		t.Errorf("SpanArea = %d", in.SpanArea())
+	}
+	// Lower bound: max(ceil(200/2)=100, 175) = 175.
+	if in.LowerBound() != 175 {
+		t.Errorf("LowerBound = %d", in.LowerBound())
+	}
+}
+
+func TestRectInstanceValidateRejects(t *testing.T) {
+	if err := (RectInstance{G: 0}).Validate(); err == nil {
+		t.Error("accepted g=0")
+	}
+	bad := RectInstance{G: 1, Jobs: []RectJob{NewRectJob(0, 0, 0, 0, 5)}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted empty rect job")
+	}
+	dup := RectInstance{G: 1, Jobs: []RectJob{NewRectJob(0, 0, 1, 0, 1), NewRectJob(0, 2, 3, 2, 3)}}
+	if err := dup.Validate(); err == nil {
+		t.Error("accepted duplicate IDs")
+	}
+}
+
+func TestClone(t *testing.T) {
+	in := NewInstance(2, [2]int64{0, 5})
+	cp := in.Clone()
+	cp.Jobs[0].Interval.End = 99
+	if in.Jobs[0].End() == 99 {
+		t.Error("Clone shares job storage")
+	}
+}

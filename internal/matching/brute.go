@@ -1,0 +1,78 @@
+package matching
+
+// BruteForce computes a maximum-weight matching exactly by dynamic
+// programming over vertex subsets. It runs in O(2^n · n) time and is the
+// ground-truth oracle the test suite checks the blossom solver against.
+// It panics for n > 24 to avoid accidental blow-ups.
+func BruteForce(n int, edges []Edge) (int64, []int) {
+	if n > 24 {
+		panic("matching: BruteForce limited to n <= 24")
+	}
+	// w[u][v] = heaviest positive edge between u and v.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+		for j := range w[i] {
+			w[i][j] = -1
+		}
+	}
+	for _, e := range edges {
+		if e.Weight > 0 && e.Weight > w[e.U][e.V] {
+			w[e.U][e.V] = e.Weight
+			w[e.V][e.U] = e.Weight
+		}
+	}
+
+	size := 1 << n
+	best := make([]int64, size)
+	choice := make([]int32, size) // encodes (v<<5)|u of matched pair, or -1 for skip
+	for i := range choice {
+		choice[i] = -2
+	}
+	for mask := 1; mask < size; mask++ {
+		u := lowestBit(mask)
+		// Option 1: leave u unmatched.
+		best[mask] = best[mask&^(1<<u)]
+		choice[mask] = -1
+		// Option 2: match u with some v.
+		rest := mask &^ (1 << u)
+		for m := rest; m != 0; m &= m - 1 {
+			v := lowestBit(m)
+			if w[u][v] < 0 {
+				continue
+			}
+			cand := w[u][v] + best[rest&^(1<<v)]
+			if cand > best[mask] {
+				best[mask] = cand
+				choice[mask] = int32(v<<5 | u)
+			}
+		}
+	}
+
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	mask := size - 1
+	for mask != 0 {
+		u := lowestBit(mask)
+		c := choice[mask]
+		if c == -1 {
+			mask &^= 1 << u
+			continue
+		}
+		v := int(c >> 5)
+		mate[u], mate[v] = v, u
+		mask &^= 1<<u | 1<<v
+	}
+	return best[size-1], mate
+}
+
+func lowestBit(mask int) int {
+	b := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+// Package parallel provides the small work-distribution primitives used by
+// the experiment harness and benchmarks: a bounded-worker ForEach and an
+// order-preserving parallel Map.
+//
+// The scheduling algorithms themselves are single-threaded (they are
+// combinatorial, not data-parallel), but the measurement layer fans out
+// across seeds and configurations; these helpers keep that layer simple
+// and race-free (results are written to disjoint indices; no shared
+// mutable state).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// goroutines (workers ≤ 0 selects GOMAXPROCS). It returns when all calls
+// complete. fn must be safe to call concurrently.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index in [0, n) in parallel and returns the
+// results in index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}

@@ -1,0 +1,68 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0, 100} {
+		n := 53
+		var seen [53]atomic.Int32
+		ForEach(n, workers, func(i int) {
+			seen[i].Add(1)
+		})
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	out := Map(100, 8, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map(0, 4, func(i int) int { return i }); len(out) != 0 {
+		t.Fatal("non-empty result for empty input")
+	}
+}
+
+// Property: Map result is independent of worker count.
+func TestPropertyWorkerCountInvariant(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw % 64)
+		w := int(wRaw%16) + 1
+		a := Map(n, 1, func(i int) int { return 3*i + 1 })
+		b := Map(n, w, func(i int) int { return 3*i + 1 })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

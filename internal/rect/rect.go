@@ -1,0 +1,220 @@
+// Package rect implements axis-aligned rectangles on the integer lattice
+// and the measure (area) of unions of rectangles.
+//
+// Rectangles model the two-dimensional jobs of Section 3.4 of the paper:
+// a job occupies a time-of-day interval every day over an interval of days
+// (or, in the optical interpretation, a segment of a path network over a
+// time interval). A machine's busy cost for a set of rectangular jobs is
+// the area of their union, computed here by a sweep over the first
+// dimension combined with 1-D union measure in the second.
+package rect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interval"
+)
+
+// Rect is the product of two half-open intervals: D1 × D2. In the periodic
+// job reading, D1 is the day range and D2 the daily time window.
+type Rect struct {
+	D1 interval.Interval
+	D2 interval.Interval
+}
+
+// New builds the rectangle [s1,c1) × [s2,c2).
+func New(s1, c1, s2, c2 int64) Rect {
+	return Rect{D1: interval.New(s1, c1), D2: interval.New(s2, c2)}
+}
+
+// Len1 returns the projection length in dimension 1 (Definition 3.1).
+func (r Rect) Len1() int64 { return r.D1.Len() }
+
+// Len2 returns the projection length in dimension 2 (Definition 3.1).
+func (r Rect) Len2() int64 { return r.D2.Len() }
+
+// Area returns len(r) = len1(r)·len2(r) (Definition 3.1).
+func (r Rect) Area() int64 { return r.Len1() * r.Len2() }
+
+// Empty reports whether the rectangle has zero area.
+func (r Rect) Empty() bool { return r.D1.Empty() || r.D2.Empty() }
+
+// Overlaps reports whether the intersection of r and other has positive
+// area, the 2-D analogue of interval overlap. Rectangles sharing only an
+// edge or corner do not overlap.
+func (r Rect) Overlaps(other Rect) bool {
+	return r.D1.Overlaps(other.D1) && r.D2.Overlaps(other.D2)
+}
+
+// Intersect returns the rectangle intersection (possibly empty).
+func (r Rect) Intersect(other Rect) Rect {
+	return Rect{D1: r.D1.Intersect(other.D1), D2: r.D2.Intersect(other.D2)}
+}
+
+// Contains reports whether other lies entirely within r.
+func (r Rect) Contains(other Rect) bool {
+	return r.D1.Contains(other.D1) && r.D2.Contains(other.D2)
+}
+
+// Hull returns the bounding box of r and other.
+func (r Rect) Hull(other Rect) Rect {
+	if r.Empty() {
+		return other
+	}
+	if other.Empty() {
+		return r
+	}
+	return Rect{D1: r.D1.Hull(other.D1), D2: r.D2.Hull(other.D2)}
+}
+
+// String renders the rectangle as "[s1,c1)x[s2,c2)".
+func (r Rect) String() string {
+	return fmt.Sprintf("%vx%v", r.D1, r.D2)
+}
+
+// TotalArea returns Σ area(r) over the set, counting overlaps multiply —
+// the 2-D len(J) of the parallelism bound.
+func TotalArea(rs []Rect) int64 {
+	var total int64
+	for _, r := range rs {
+		total += r.Area()
+	}
+	return total
+}
+
+// UnionArea returns span(R): the area of the union of the rectangles
+// (Definition 3.2). It sweeps dimension 1 between consecutive boundary
+// coordinates; within each vertical slab the covered measure in dimension 2
+// is a 1-D union measure. Runs in O(n² log n).
+func UnionArea(rs []Rect) int64 {
+	live := make([]Rect, 0, len(rs))
+	for _, r := range rs {
+		if !r.Empty() {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	cuts := make([]int64, 0, 2*len(live))
+	for _, r := range live {
+		cuts = append(cuts, r.D1.Start, r.D1.End)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedup(cuts)
+
+	var area int64
+	slab := make([]interval.Interval, 0, len(live))
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		slab = slab[:0]
+		for _, r := range live {
+			if r.D1.Start <= lo && hi <= r.D1.End {
+				slab = append(slab, r.D2)
+			}
+		}
+		if len(slab) == 0 {
+			continue
+		}
+		area += (hi - lo) * interval.Span(slab)
+	}
+	return area
+}
+
+// BoundingBox returns the smallest rectangle containing every rectangle of
+// rs (empty when rs has no non-empty member).
+func BoundingBox(rs []Rect) Rect {
+	var bb Rect
+	first := true
+	for _, r := range rs {
+		if r.Empty() {
+			continue
+		}
+		if first {
+			bb, first = r, false
+			continue
+		}
+		bb = bb.Hull(r)
+	}
+	return bb
+}
+
+// MaxConcurrency returns the maximum number of rectangles sharing a common
+// point of positive measure — the capacity constraint for 2-D machines.
+// It reuses the slab sweep: within a slab, rectangles active in dimension 1
+// reduce to 1-D intervals in dimension 2.
+func MaxConcurrency(rs []Rect) int {
+	live := make([]Rect, 0, len(rs))
+	for _, r := range rs {
+		if !r.Empty() {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return 0
+	}
+	cuts := make([]int64, 0, 2*len(live))
+	for _, r := range live {
+		cuts = append(cuts, r.D1.Start, r.D1.End)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	cuts = dedup(cuts)
+
+	best := 0
+	slab := make([]interval.Interval, 0, len(live))
+	for i := 0; i+1 < len(cuts); i++ {
+		lo, hi := cuts[i], cuts[i+1]
+		slab = slab[:0]
+		for _, r := range live {
+			if r.D1.Start <= lo && hi <= r.D1.End {
+				slab = append(slab, r.D2)
+			}
+		}
+		if c := interval.MaxConcurrency(slab); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Gamma returns γ_k = max len_k / min len_k over the set for the requested
+// dimension k ∈ {1,2} (Section 3.4). It returns 1 for an empty set and
+// panics when any rectangle is empty, since γ is undefined there.
+func Gamma(rs []Rect, dim int) float64 {
+	if len(rs) == 0 {
+		return 1
+	}
+	var lo, hi int64
+	for i, r := range rs {
+		var l int64
+		switch dim {
+		case 1:
+			l = r.Len1()
+		case 2:
+			l = r.Len2()
+		default:
+			panic(fmt.Sprintf("rect: Gamma: dimension %d not in {1,2}", dim))
+		}
+		if l == 0 {
+			panic("rect: Gamma: empty rectangle in set")
+		}
+		if i == 0 || l < lo {
+			lo = l
+		}
+		if i == 0 || l > hi {
+			hi = l
+		}
+	}
+	return float64(hi) / float64(lo)
+}
+
+func dedup(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

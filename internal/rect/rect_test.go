@@ -1,0 +1,207 @@
+package rect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	r := New(0, 4, 10, 13)
+	if r.Len1() != 4 || r.Len2() != 3 || r.Area() != 12 {
+		t.Errorf("projections/area wrong: %v %d %d %d", r, r.Len1(), r.Len2(), r.Area())
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported empty")
+	}
+	if !New(0, 0, 1, 5).Empty() {
+		t.Error("zero-width rect should be empty")
+	}
+}
+
+func TestOverlapsAndIntersect(t *testing.T) {
+	a := New(0, 10, 0, 10)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{New(5, 15, 5, 15), true},
+		{New(10, 20, 0, 10), false}, // shares an edge only
+		{New(0, 10, 10, 20), false}, // shares an edge only
+		{New(9, 20, 9, 20), true},
+		{New(11, 20, 11, 20), false},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+	x := a.Intersect(New(5, 15, -5, 3))
+	if x != New(5, 10, 0, 3) {
+		t.Errorf("Intersect = %v, want [5,10)x[0,3)", x)
+	}
+}
+
+func TestContainsAndHull(t *testing.T) {
+	a := New(0, 10, 0, 10)
+	if !a.Contains(New(2, 8, 3, 7)) {
+		t.Error("containment failed")
+	}
+	if a.Contains(New(2, 11, 3, 7)) {
+		t.Error("overhanging rect reported contained")
+	}
+	h := a.Hull(New(-5, 2, 8, 20))
+	if h != New(-5, 10, 0, 20) {
+		t.Errorf("Hull = %v", h)
+	}
+}
+
+func TestUnionAreaDisjoint(t *testing.T) {
+	rs := []Rect{New(0, 2, 0, 2), New(10, 12, 10, 12)}
+	if got := UnionArea(rs); got != 8 {
+		t.Errorf("UnionArea = %d, want 8", got)
+	}
+}
+
+func TestUnionAreaOverlapping(t *testing.T) {
+	// Two 10x10 squares overlapping in a 5x5 corner: 100+100-25.
+	rs := []Rect{New(0, 10, 0, 10), New(5, 15, 5, 15)}
+	if got := UnionArea(rs); got != 175 {
+		t.Errorf("UnionArea = %d, want 175", got)
+	}
+}
+
+func TestUnionAreaNested(t *testing.T) {
+	rs := []Rect{New(0, 10, 0, 10), New(2, 4, 2, 4)}
+	if got := UnionArea(rs); got != 100 {
+		t.Errorf("UnionArea = %d, want 100", got)
+	}
+}
+
+func TestUnionAreaCross(t *testing.T) {
+	// A plus-sign: horizontal 10x2 and vertical 2x10 crossing at a 2x2 cell.
+	rs := []Rect{New(0, 10, 4, 6), New(4, 6, 0, 10)}
+	if got := UnionArea(rs); got != 36 {
+		t.Errorf("UnionArea = %d, want 36", got)
+	}
+}
+
+func TestUnionAreaEmpty(t *testing.T) {
+	if UnionArea(nil) != 0 {
+		t.Error("UnionArea(nil) != 0")
+	}
+	if UnionArea([]Rect{New(0, 0, 0, 5)}) != 0 {
+		t.Error("UnionArea of degenerate rect != 0")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	bb := BoundingBox([]Rect{New(0, 2, 5, 6), New(-3, 1, 0, 9)})
+	if bb != New(-3, 2, 0, 9) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if !BoundingBox(nil).Empty() {
+		t.Error("BoundingBox(nil) should be empty")
+	}
+}
+
+func TestMaxConcurrency(t *testing.T) {
+	cases := []struct {
+		rs   []Rect
+		want int
+	}{
+		{nil, 0},
+		{[]Rect{New(0, 10, 0, 10)}, 1},
+		{[]Rect{New(0, 10, 0, 10), New(10, 20, 0, 10)}, 1}, // edge-adjacent
+		{[]Rect{New(0, 10, 0, 10), New(5, 15, 5, 15), New(8, 9, 8, 9)}, 3},
+	}
+	for _, c := range cases {
+		if got := MaxConcurrency(c.rs); got != c.want {
+			t.Errorf("MaxConcurrency(%v) = %d, want %d", c.rs, got, c.want)
+		}
+	}
+}
+
+func TestGamma(t *testing.T) {
+	rs := []Rect{New(0, 2, 0, 10), New(0, 8, 0, 5)}
+	if g := Gamma(rs, 1); g != 4 {
+		t.Errorf("Gamma dim1 = %v, want 4", g)
+	}
+	if g := Gamma(rs, 2); g != 2 {
+		t.Errorf("Gamma dim2 = %v, want 2", g)
+	}
+	if g := Gamma(nil, 1); g != 1 {
+		t.Errorf("Gamma(nil) = %v, want 1", g)
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma with empty rect did not panic")
+		}
+	}()
+	Gamma([]Rect{New(0, 0, 0, 1)}, 1)
+}
+
+func randomRects(r *rand.Rand, n int) []Rect {
+	rs := make([]Rect, n)
+	for i := range rs {
+		s1 := r.Int63n(60) - 30
+		s2 := r.Int63n(60) - 30
+		rs[i] = New(s1, s1+1+r.Int63n(20), s2, s2+1+r.Int63n(20))
+	}
+	return rs
+}
+
+// gridUnionArea is a brute-force oracle: count lattice cells covered by any
+// rectangle. Coordinates are small in tests, so this is exact.
+func gridUnionArea(rs []Rect) int64 {
+	covered := map[[2]int64]bool{}
+	for _, r := range rs {
+		for x := r.D1.Start; x < r.D1.End; x++ {
+			for y := r.D2.Start; y < r.D2.End; y++ {
+				covered[[2]int64{x, y}] = true
+			}
+		}
+	}
+	return int64(len(covered))
+}
+
+// Property: sweep-line union area matches the cell-counting oracle.
+func TestPropertyUnionAreaMatchesGrid(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRects(rng, int(nRaw%8))
+		return UnionArea(rs) == gridUnionArea(rs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: area bounds — max single area <= union <= total area, and the
+// union fits in the bounding box.
+func TestPropertyUnionAreaBounds(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomRects(rng, int(nRaw%10)+1)
+		u := UnionArea(rs)
+		if u > TotalArea(rs) {
+			return false
+		}
+		var maxA int64
+		for _, r := range rs {
+			if r.Area() > maxA {
+				maxA = r.Area()
+			}
+		}
+		if u < maxA {
+			return false
+		}
+		return u <= BoundingBox(rs).Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package render draws ASCII Gantt charts of schedules for the CLI and
+// examples: one row per machine, one column per time bucket, '#' where the
+// machine runs at least one job and digits showing instantaneous load.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+// Gantt renders the schedule as a fixed-width chart at most width columns
+// wide. Machines appear in compacted order; unscheduled jobs are listed
+// below the chart. Loads above 9 render as '+'.
+func Gantt(s core.Schedule, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	sc := s.CompactMachines()
+	machineJobs := sc.MachineJobs()
+	if len(machineJobs) == 0 {
+		return "(empty schedule)\n"
+	}
+
+	hull := interval.Hull(instanceIntervals(sc))
+	span := hull.Len()
+	if span == 0 {
+		return "(zero-length horizon)\n"
+	}
+	cols := width
+	if span < int64(cols) {
+		cols = int(span)
+	}
+
+	machines := make([]int, 0, len(machineJobs))
+	for m := range machineJobs {
+		machines = append(machines, m)
+	}
+	sort.Ints(machines)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "horizon %v, %d machines, %d/%d jobs scheduled\n",
+		hull, len(machines), sc.Throughput(), len(sc.Instance.Jobs))
+	for _, m := range machines {
+		row := make([]int, cols)
+		for _, p := range machineJobs[m] {
+			iv := sc.Instance.Jobs[p].Interval
+			lo := colOf(iv.Start, hull, cols)
+			hi := colOf(iv.End-1, hull, cols)
+			for c := lo; c <= hi && c < cols; c++ {
+				row[c]++
+			}
+		}
+		fmt.Fprintf(&b, "M%-3d |", m)
+		for _, load := range row {
+			switch {
+			case load == 0:
+				b.WriteByte('.')
+			case load <= 9:
+				b.WriteByte(byte('0' + load))
+			default:
+				b.WriteByte('+')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	var unscheduled []int
+	for i, m := range sc.Machine {
+		if m == core.Unscheduled {
+			unscheduled = append(unscheduled, sc.Instance.Jobs[i].ID)
+		}
+	}
+	if len(unscheduled) > 0 {
+		fmt.Fprintf(&b, "unscheduled jobs: %v\n", unscheduled)
+	}
+	return b.String()
+}
+
+func colOf(t int64, hull interval.Interval, cols int) int {
+	span := hull.Len()
+	c := int((t - hull.Start) * int64(cols) / span)
+	if c < 0 {
+		c = 0
+	}
+	if c >= cols {
+		c = cols - 1
+	}
+	return c
+}
+
+func instanceIntervals(s core.Schedule) []interval.Interval {
+	ivs := make([]interval.Interval, 0, len(s.Instance.Jobs))
+	for i, m := range s.Machine {
+		if m != core.Unscheduled {
+			ivs = append(ivs, s.Instance.Jobs[i].Interval)
+		}
+	}
+	return ivs
+}

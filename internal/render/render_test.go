@@ -1,0 +1,71 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+)
+
+func TestGanttBasic(t *testing.T) {
+	in := job.NewInstance(2, [2]int64{0, 50}, [2]int64{25, 75}, [2]int64{50, 100})
+	s := core.NewSchedule(in)
+	s.Assign(0, 0)
+	s.Assign(1, 0)
+	s.Assign(2, 1)
+	out := Gantt(s, 40)
+	if !strings.Contains(out, "M0") || !strings.Contains(out, "M1") {
+		t.Fatalf("missing machine rows:\n%s", out)
+	}
+	if !strings.Contains(out, "2") {
+		t.Errorf("overlap load 2 not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "3/3 jobs scheduled") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestGanttUnscheduled(t *testing.T) {
+	in := job.NewInstance(1, [2]int64{0, 10}, [2]int64{20, 30})
+	s := core.NewSchedule(in)
+	s.Assign(0, 0)
+	out := Gantt(s, 20)
+	if !strings.Contains(out, "unscheduled jobs: [1]") {
+		t.Errorf("unscheduled list missing:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	in := job.NewInstance(1, [2]int64{0, 10})
+	s := core.NewSchedule(in)
+	if out := Gantt(s, 30); !strings.Contains(out, "empty") {
+		t.Errorf("empty schedule render:\n%s", out)
+	}
+}
+
+func TestGanttHighLoadGlyph(t *testing.T) {
+	spans := make([][2]int64, 12)
+	for i := range spans {
+		spans[i] = [2]int64{0, 10}
+	}
+	in := job.NewInstance(12, spans...)
+	s := core.NewSchedule(in)
+	for i := range spans {
+		s.Assign(i, 0)
+	}
+	out := Gantt(s, 20)
+	if !strings.Contains(out, "+") {
+		t.Errorf("load > 9 should render '+':\n%s", out)
+	}
+}
+
+func TestGanttNarrowWidthClamped(t *testing.T) {
+	in := job.NewInstance(1, [2]int64{0, 100})
+	s := core.NewSchedule(in)
+	s.Assign(0, 0)
+	out := Gantt(s, 1) // clamped to 10
+	if !strings.Contains(out, "1111111111") {
+		t.Errorf("clamped render:\n%s", out)
+	}
+}

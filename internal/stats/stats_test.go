@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty Summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.P50 != 7 || s.P95 != 7 {
+		t.Errorf("single Summary = %+v", s)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if q := Quantile(sorted, 0); q != 10 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(sorted, 1); q != 40 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(sorted, 0.5); q != 25 {
+		t.Errorf("q0.5 = %v", q)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("6/3")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("0/0 should be 1")
+	}
+	if !math.IsInf(Ratio(5, 0), 1) {
+		t.Error("5/0 should be +Inf")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := Table{Header: []string{"name", "ratio"}}
+	tb.Add("best-cut", 1.25)
+	tb.Add("first-fit", 2.0)
+	out := tb.String()
+	if !strings.Contains(out, "best-cut") || !strings.Contains(out, "1.250") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,246 @@
+// Package tree implements the Section 5 extension of Observation 3.1 to
+// tree topologies.
+//
+// In the optical reading, jobs are paths in a tree network and a
+// regenerator placed on an edge can be shared by at most g paths
+// (grooming). The one-sided clique structure of Observation 3.1 — every
+// job contained in the currently longest job — generalizes to paths: the
+// paper's greedy maintains multiple "current sets", each identified by its
+// opening (longest) path, assigns each new path to the fullest compatible
+// set (opening path contains it, fewer than g members), and opens a new
+// set otherwise. The cost of a set is the length of its opening path.
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is an undirected tree with positive integer edge lengths. Nodes are
+// 0..N-1; node 0 is the root used for path decomposition.
+type Tree struct {
+	n      int
+	parent []int
+	plen   []int64 // length of the edge to parent
+	depth  []int
+	dist   []int64 // distance from root
+}
+
+// Edge connects two nodes with a positive length.
+type Edge struct {
+	U, V   int
+	Length int64
+}
+
+// New builds a tree from exactly n−1 edges. It verifies connectivity and
+// acyclicity.
+func New(n int, edges []Edge) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tree: need at least one node")
+	}
+	if len(edges) != n-1 {
+		return nil, fmt.Errorf("tree: %d nodes need %d edges, got %d", n, n-1, len(edges))
+	}
+	adj := make([][]Edge, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n || e.U == e.V {
+			return nil, fmt.Errorf("tree: bad edge %+v", e)
+		}
+		if e.Length < 1 {
+			return nil, fmt.Errorf("tree: edge %+v has non-positive length", e)
+		}
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, Length: e.Length})
+	}
+	t := &Tree{
+		n:      n,
+		parent: make([]int, n),
+		plen:   make([]int64, n),
+		depth:  make([]int, n),
+		dist:   make([]int64, n),
+	}
+	for i := range t.parent {
+		t.parent[i] = -1
+	}
+	visited := make([]bool, n)
+	stack := []int{0}
+	visited[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, e := range adj[v] {
+			if !visited[e.V] {
+				visited[e.V] = true
+				t.parent[e.V] = v
+				t.plen[e.V] = e.Length
+				t.depth[e.V] = t.depth[v] + 1
+				t.dist[e.V] = t.dist[v] + e.Length
+				stack = append(stack, e.V)
+			}
+		}
+	}
+	if count != n {
+		return nil, fmt.Errorf("tree: graph is not connected")
+	}
+	return t, nil
+}
+
+// N returns the number of nodes.
+func (t *Tree) N() int { return t.n }
+
+// LCA returns the lowest common ancestor of u and v.
+func (t *Tree) LCA(u, v int) int {
+	for t.depth[u] > t.depth[v] {
+		u = t.parent[u]
+	}
+	for t.depth[v] > t.depth[u] {
+		v = t.parent[v]
+	}
+	for u != v {
+		u = t.parent[u]
+		v = t.parent[v]
+	}
+	return u
+}
+
+// Path is a simple path between two nodes, stored as its edge set (each
+// edge keyed by its child endpoint in the rooted tree).
+type Path struct {
+	A, B   int
+	edges  map[int]bool
+	length int64
+}
+
+// PathBetween returns the unique tree path between a and b.
+func (t *Tree) PathBetween(a, b int) Path {
+	if a < 0 || a >= t.n || b < 0 || b >= t.n {
+		panic(fmt.Sprintf("tree: PathBetween(%d, %d) out of range", a, b))
+	}
+	l := t.LCA(a, b)
+	p := Path{A: a, B: b, edges: map[int]bool{}}
+	for v := a; v != l; v = t.parent[v] {
+		p.edges[v] = true
+		p.length += t.plen[v]
+	}
+	for v := b; v != l; v = t.parent[v] {
+		p.edges[v] = true
+		p.length += t.plen[v]
+	}
+	return p
+}
+
+// Length returns the total edge length of the path.
+func (p Path) Length() int64 { return p.length }
+
+// Contains reports whether q's edges are a subset of p's.
+func (p Path) Contains(q Path) bool {
+	if len(q.edges) > len(p.edges) {
+		return false
+	}
+	for e := range q.edges {
+		if !p.edges[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether the two paths share at least one edge.
+func (p Path) Overlaps(q Path) bool {
+	small, large := p, q
+	if len(q.edges) < len(p.edges) {
+		small, large = q, p
+	}
+	for e := range small.edges {
+		if large.edges[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// Request is a path job to be groomed.
+type Request struct {
+	ID   int
+	Path Path
+}
+
+// Assignment is the grooming result: Group[i] is the set index of request
+// i; Cost is the total regenerator cost (sum over sets of the opening
+// path's length).
+type Assignment struct {
+	Group []int
+	Cost  int64
+	Sets  [][]int // request indices per set, opening request first
+}
+
+// GreedyGroom runs the Section 5 greedy on laminar ("one-sided") request
+// families: processes requests in non-increasing path length, maintains
+// current sets identified by their opening path, assigns each request to
+// the fullest compatible current set (opening contains the request, fewer
+// than g members), and opens a new set otherwise.
+//
+// When every request is contained in a common longest path (the tree
+// analogue of a one-sided clique), the result is optimal by the same
+// exchange argument as Observation 3.1, applied per containment chain.
+func GreedyGroom(reqs []Request, g int) Assignment {
+	if g < 1 {
+		panic("tree: GreedyGroom needs g >= 1")
+	}
+	n := len(reqs)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return reqs[order[a]].Path.Length() > reqs[order[b]].Path.Length()
+	})
+
+	asg := Assignment{Group: make([]int, n)}
+	type set struct {
+		opening Path
+		members []int
+	}
+	var sets []set
+	for _, ri := range order {
+		r := reqs[ri]
+		best := -1
+		for si := range sets {
+			if len(sets[si].members) >= g {
+				continue
+			}
+			if !sets[si].opening.Contains(r.Path) {
+				continue
+			}
+			if best == -1 || len(sets[si].members) > len(sets[best].members) {
+				best = si
+			}
+		}
+		if best == -1 {
+			sets = append(sets, set{opening: r.Path, members: []int{ri}})
+			best = len(sets) - 1
+		} else {
+			sets[best].members = append(sets[best].members, ri)
+		}
+		asg.Group[ri] = best
+	}
+	for _, s := range sets {
+		asg.Cost += s.opening.Length()
+		asg.Sets = append(asg.Sets, s.members)
+	}
+	return asg
+}
+
+// LaminarLowerBound returns the busy-time lower bound for a laminar
+// request family: max over edges of ceil(load(e)/g) summed... more simply,
+// the parallelism bound Σ len(path)/g rounded up, which is valid on any
+// topology.
+func LaminarLowerBound(reqs []Request, g int) int64 {
+	var total int64
+	for _, r := range reqs {
+		total += r.Path.Length()
+	}
+	return (total + int64(g) - 1) / int64(g)
+}

@@ -1,0 +1,305 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// star builds a star tree with k leaves and unit edges.
+func star(t *testing.T, k int) *Tree {
+	t.Helper()
+	edges := make([]Edge, k)
+	for i := 0; i < k; i++ {
+		edges[i] = Edge{U: 0, V: i + 1, Length: 1}
+	}
+	tr, err := New(k+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// line builds a path graph 0-1-2-...-n-1 with given edge lengths.
+func line(t *testing.T, lengths ...int64) *Tree {
+	t.Helper()
+	edges := make([]Edge, len(lengths))
+	for i, l := range lengths {
+		edges[i] = Edge{U: i, V: i + 1, Length: l}
+	}
+	tr, err := New(len(lengths)+1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	if _, err := New(3, []Edge{{0, 1, 1}}); err == nil {
+		t.Error("accepted wrong edge count")
+	}
+	if _, err := New(3, []Edge{{0, 1, 1}, {0, 1, 1}}); err == nil {
+		t.Error("accepted disconnected multigraph")
+	}
+	if _, err := New(2, []Edge{{0, 1, 0}}); err == nil {
+		t.Error("accepted zero-length edge")
+	}
+	if _, err := New(2, []Edge{{0, 0, 1}}); err == nil {
+		t.Error("accepted self-loop")
+	}
+}
+
+func TestPathBetween(t *testing.T) {
+	tr := line(t, 3, 4, 5) // 0-3-1-4-2-5-3
+	p := tr.PathBetween(0, 3)
+	if p.Length() != 12 {
+		t.Errorf("length = %d, want 12", p.Length())
+	}
+	q := tr.PathBetween(1, 2)
+	if q.Length() != 4 {
+		t.Errorf("length = %d, want 4", q.Length())
+	}
+	if !p.Contains(q) {
+		t.Error("full path should contain middle segment")
+	}
+	if q.Contains(p) {
+		t.Error("middle segment should not contain full path")
+	}
+}
+
+func TestPathThroughLCA(t *testing.T) {
+	tr := star(t, 3)
+	p := tr.PathBetween(1, 2) // leaf to leaf through center
+	if p.Length() != 2 {
+		t.Errorf("length = %d, want 2", p.Length())
+	}
+	q := tr.PathBetween(1, 3)
+	if !p.Overlaps(q) {
+		t.Error("paths sharing edge 0-1 should overlap")
+	}
+	r := tr.PathBetween(2, 0)
+	s := tr.PathBetween(1, 0)
+	if r.Overlaps(s) {
+		t.Error("edge-disjoint spokes should not overlap")
+	}
+}
+
+func TestPathSameNode(t *testing.T) {
+	tr := star(t, 2)
+	p := tr.PathBetween(1, 1)
+	if p.Length() != 0 {
+		t.Errorf("trivial path length = %d", p.Length())
+	}
+}
+
+func TestGreedyGroomLaminarOptimal(t *testing.T) {
+	// Line 0-1-2-3-4, unit edges. Requests: full path [0,4] x2, [0,2] x2,
+	// [0,1] x2. g=2. Nested laminar family: greedy fills the longest set
+	// first. Optimal with g=2: pair equal requests: cost 4+2+1 = 7.
+	tr := line(t, 1, 1, 1, 1)
+	reqs := []Request{
+		{0, tr.PathBetween(0, 4)},
+		{1, tr.PathBetween(0, 4)},
+		{2, tr.PathBetween(0, 2)},
+		{3, tr.PathBetween(0, 2)},
+		{4, tr.PathBetween(0, 1)},
+		{5, tr.PathBetween(0, 1)},
+	}
+	asg := GreedyGroom(reqs, 2)
+	if asg.Cost != 7 {
+		t.Errorf("cost = %d, want 7 (sets %v)", asg.Cost, asg.Sets)
+	}
+}
+
+func TestGreedyGroomFillsFullestSet(t *testing.T) {
+	// One long opening path can absorb g-1 short ones.
+	tr := line(t, 1, 1, 1)
+	reqs := []Request{
+		{0, tr.PathBetween(0, 3)},
+		{1, tr.PathBetween(0, 1)},
+		{2, tr.PathBetween(1, 2)},
+	}
+	asg := GreedyGroom(reqs, 3)
+	if asg.Cost != 3 {
+		t.Errorf("cost = %d, want 3 (single set)", asg.Cost)
+	}
+	if len(asg.Sets) != 1 {
+		t.Errorf("sets = %v", asg.Sets)
+	}
+}
+
+func TestGreedyGroomRespectsG(t *testing.T) {
+	tr := star(t, 2)
+	p := tr.PathBetween(1, 2)
+	reqs := []Request{{0, p}, {1, p}, {2, p}}
+	asg := GreedyGroom(reqs, 2)
+	if len(asg.Sets) != 2 {
+		t.Errorf("three identical paths at g=2 need 2 sets, got %v", asg.Sets)
+	}
+	if asg.Cost != 4 {
+		t.Errorf("cost = %d, want 4", asg.Cost)
+	}
+}
+
+func TestGreedyGroomIncompatiblePaths(t *testing.T) {
+	// Spokes of a star are pairwise non-containing: each opens a set.
+	tr := star(t, 3)
+	reqs := []Request{
+		{0, tr.PathBetween(0, 1)},
+		{1, tr.PathBetween(0, 2)},
+		{2, tr.PathBetween(0, 3)},
+	}
+	asg := GreedyGroom(reqs, 3)
+	if len(asg.Sets) != 3 || asg.Cost != 3 {
+		t.Errorf("cost = %d sets = %v", asg.Cost, asg.Sets)
+	}
+}
+
+func TestGreedyGroomPanicsOnBadG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("g=0 accepted")
+		}
+	}()
+	GreedyGroom(nil, 0)
+}
+
+// randomTree builds a random tree with n nodes and random edge lengths.
+func randomTree(r *rand.Rand, n int) (*Tree, error) {
+	edges := make([]Edge, n-1)
+	for v := 1; v < n; v++ {
+		edges[v-1] = Edge{U: r.Intn(v), V: v, Length: 1 + r.Int63n(9)}
+	}
+	return New(n, edges)
+}
+
+// Property: on arbitrary random trees with arbitrary requests, the greedy
+// produces structurally sound assignments: every member is contained in
+// its set's opening path, set sizes respect g, the reported cost equals
+// the sum of opening lengths, and the parallelism lower bound holds.
+func TestPropertyGreedyStructureOnRandomTrees(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw, gRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 2
+		m := int(mRaw%15) + 1
+		g := int(gRaw%4) + 1
+		tr, err := randomTree(r, n)
+		if err != nil {
+			return false
+		}
+		reqs := make([]Request, 0, m)
+		for i := 0; i < m; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			p := tr.PathBetween(a, b)
+			if p.Length() == 0 {
+				continue // trivial paths carry no load
+			}
+			reqs = append(reqs, Request{ID: i, Path: p})
+		}
+		asg := GreedyGroom(reqs, g)
+		if len(asg.Group) != len(reqs) {
+			return false
+		}
+		var cost int64
+		for _, members := range asg.Sets {
+			if len(members) == 0 || len(members) > g {
+				return false
+			}
+			opening := reqs[members[0]].Path
+			for _, ri := range members[1:] {
+				if !opening.Contains(reqs[ri].Path) {
+					return false
+				}
+				if reqs[ri].Path.Length() > opening.Length() {
+					return false
+				}
+			}
+			cost += opening.Length()
+		}
+		if cost != asg.Cost {
+			return false
+		}
+		return asg.Cost >= LaminarLowerBound(reqs, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on a star with long spokes, requests from the hub form
+// per-spoke laminar chains; greedy must never mix spokes in one set.
+func TestGreedySpokesStayDisjoint(t *testing.T) {
+	tr := star(t, 4)
+	var reqs []Request
+	for leaf := 1; leaf <= 4; leaf++ {
+		for k := 0; k < 3; k++ {
+			reqs = append(reqs, Request{ID: len(reqs), Path: tr.PathBetween(0, leaf)})
+		}
+	}
+	asg := GreedyGroom(reqs, 3)
+	for _, members := range asg.Sets {
+		first := reqs[members[0]].Path
+		for _, ri := range members {
+			if !first.Contains(reqs[ri].Path) || !reqs[ri].Path.Contains(first) {
+				t.Fatalf("set mixes different spokes: %v", members)
+			}
+		}
+	}
+	if asg.Cost != 4 {
+		t.Errorf("cost = %d, want 4 (one unit-length set per spoke)", asg.Cost)
+	}
+}
+
+// Property: on a random laminar family over a line (all requests start at
+// node 0, the tree analogue of a one-sided instance), greedy cost matches
+// the one-sided optimum: sort lengths descending, sum every g-th.
+func TestPropertyGreedyMatchesOneSidedOptimum(t *testing.T) {
+	f := func(seed int64, nRaw, gRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%12) + 1
+		g := int(gRaw%4) + 1
+		// Line with 20 unit edges; request i spans [0, 1+rand(20)).
+		lengths := make([]int64, 20)
+		for i := range lengths {
+			lengths[i] = 1
+		}
+		edges := make([]Edge, 20)
+		for i := range edges {
+			edges[i] = Edge{U: i, V: i + 1, Length: 1}
+		}
+		tr, err := New(21, edges)
+		if err != nil {
+			return false
+		}
+		reqs := make([]Request, n)
+		lens := make([]int64, n)
+		for i := range reqs {
+			end := 1 + r.Intn(20)
+			reqs[i] = Request{ID: i, Path: tr.PathBetween(0, end)}
+			lens[i] = int64(end)
+		}
+		asg := GreedyGroom(reqs, g)
+		// One-sided optimum: descending lengths, sum of every g-th.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if lens[j] > lens[i] {
+					lens[i], lens[j] = lens[j], lens[i]
+				}
+			}
+		}
+		var want int64
+		for i := 0; i < n; i += g {
+			want += lens[i]
+		}
+		if asg.Cost != want {
+			return false
+		}
+		return asg.Cost >= LaminarLowerBound(reqs, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+	"repro/internal/job"
+	"repro/internal/rect"
+)
+
+// Figure3 builds the adversarial rectangle family from Figure 3 of the
+// paper, which drives FirstFit2D to an approximation ratio arbitrarily
+// close to its 6γ₁+3 lower bound (Lemma 3.5).
+//
+// Coordinates are scaled by the integer scale S so the paper's ε′
+// perturbation is representable on the lattice: the paper's unit 1 becomes
+// S ticks and ε′ becomes eps ticks (0 < eps < S). gamma1 is the target γ₁
+// (an integer ≥ 1); g must be ≥ 4 so the X-copy count g(g−3) is positive.
+//
+// The instance consists of g(g−3) copies of X followed, per machine round,
+// by copies of A, C, −A, −C, B, −B, D, E — exactly the processing order of
+// the lower-bound proof. FirstFit2D's stable tie-break (all rectangles
+// share len₂ = 2S) preserves input order, so no perturbation is needed.
+func Figure3(g int, gamma1 int64, scale int64, eps int64) (job.RectInstance, error) {
+	if g < 4 {
+		return job.RectInstance{}, fmt.Errorf("workload: Figure3 requires g >= 4, got %d", g)
+	}
+	if gamma1 < 1 {
+		return job.RectInstance{}, fmt.Errorf("workload: Figure3 requires gamma1 >= 1, got %d", gamma1)
+	}
+	if scale < 2 || eps <= 0 || eps >= scale {
+		return job.RectInstance{}, fmt.Errorf("workload: Figure3 requires scale >= 2 and 0 < eps < scale")
+	}
+	S, e, gam := scale, eps, gamma1
+
+	// The rectangles of equation (6), scaled by S with ε′ = e/S.
+	A := rect.New(S-e, S+2*gam*S-e, S-e, 3*S-e)
+	B := rect.New(S-e, S+2*gam*S-e, -S, S)
+	C := rect.New(S-e, S+2*gam*S-e, -3*S+e, -S+e)
+	D := rect.New(-S, S, S-e, 3*S-e)
+	E := rect.New(-S, S, -3*S+e, -S+e)
+	X := rect.New(-S, S, -S, S)
+	negA := mirror1(A)
+	negB := mirror1(B)
+	negC := mirror1(C)
+
+	var in job.RectInstance
+	in.G = g
+	id := 0
+	add := func(r rect.Rect) {
+		in.Jobs = append(in.Jobs, job.RectJob{ID: id, Rect: r})
+		id++
+	}
+	// Per machine round: g−3 copies of X, then A, C, −A, −C, B, −B, D, E.
+	// Across g rounds this yields g(g−3) X's and g copies of each other
+	// rectangle, in the adversarial processing order.
+	for round := 0; round < g; round++ {
+		for k := 0; k < g-3; k++ {
+			add(X)
+		}
+		add(A)
+		add(C)
+		add(negA)
+		add(negC)
+		add(B)
+		add(negB)
+		add(D)
+		add(E)
+	}
+	return in, nil
+}
+
+// Figure3OptUpperBound returns the paper's upper bound on cost* for the
+// Figure 3 instance: (g−3)·span(X) + 2(span(A)+span(B)+span(C)) + span(D) +
+// span(E), in scaled (tick²) units.
+func Figure3OptUpperBound(g int, gamma1 int64, scale int64, eps int64) int64 {
+	S, e, gam := scale, eps, gamma1
+	spanX := (2 * S) * (2 * S)
+	spanA := (2 * gam * S) * (2 * S)
+	spanB := spanA
+	spanC := spanA
+	spanD := (2 * S) * (2 * S)
+	spanE := spanD
+	_ = e
+	return int64(g-3)*spanX + 2*(spanA+spanB+spanC) + spanD + spanE
+}
+
+// Figure3FirstFitCost returns the cost the lower-bound proof predicts for
+// FirstFit2D on the Figure 3 instance: g·span(Y) where Y is the union of
+// all nine rectangle types.
+func Figure3FirstFitCost(g int, gamma1 int64, scale int64, eps int64) int64 {
+	S, e, gam := scale, eps, gamma1
+	len1Y := 2 * (S + 2*gam*S - e)
+	len2Y := 2 * (3*S - e)
+	return int64(g) * len1Y * len2Y
+}
+
+// BoundedGammaRects returns a random rectangle instance whose γ₁ is at most
+// maxGamma — the workload family for the Theorem 3.3 (BucketFirstFit)
+// experiment.
+func BoundedGammaRects(seed int64, c Config, maxGamma int64) job.RectInstance {
+	c.check()
+	if maxGamma < 1 {
+		panic("workload: maxGamma must be >= 1")
+	}
+	r := c.rng(seed)
+	base := int64(10)
+	in := job.RectInstance{G: c.G, Jobs: make([]job.RectJob, c.N)}
+	for i := range in.Jobs {
+		l1 := base + r.Int63n(base*(maxGamma-1)+1) // in [base, base*maxGamma]
+		l2 := 1 + r.Int63n(c.MaxLen)
+		s1 := r.Int63n(c.MaxTime + 1)
+		s2 := r.Int63n(c.MaxTime + 1)
+		in.Jobs[i] = job.NewRectJob(i, s1, s1+l1, s2, s2+l2)
+	}
+	return in
+}
+
+// mirror1 reflects a rectangle through the dim-1 origin: [s,c) becomes
+// [−c,−s), the paper's −A notation.
+func mirror1(r rect.Rect) rect.Rect {
+	return rect.Rect{
+		D1: interval.Interval{Start: -r.D1.End, End: -r.D1.Start},
+		D2: r.D2,
+	}
+}

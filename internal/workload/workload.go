@@ -1,0 +1,184 @@
+// Package workload generates the instance families used by the test suite,
+// the examples, and the experiment harness.
+//
+// All generators are deterministic given a seed. Families correspond to the
+// instance classes the paper analyzes (general, clique, proper, proper
+// clique, one-sided) plus the two application-flavoured workloads from the
+// introduction (cloud tasks, optical lightpaths) and the adversarial
+// rectangle family of Figure 3 that drives FirstFit2D to its lower bound.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/job"
+)
+
+// Config bounds the random instance shapes.
+type Config struct {
+	N       int   // number of jobs
+	G       int   // machine capacity
+	MaxTime int64 // horizon for start times
+	MaxLen  int64 // maximum job length (>= 1)
+}
+
+func (c Config) rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func (c Config) check() {
+	if c.N < 0 || c.G < 1 || c.MaxLen < 1 || c.MaxTime < 0 {
+		panic(fmt.Sprintf("workload: bad config %+v", c))
+	}
+}
+
+// General returns an unconstrained random instance: uniform starts over the
+// horizon, uniform lengths in [1, MaxLen].
+func General(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, c.N)
+	for i := range jobs {
+		s := r.Int63n(c.MaxTime + 1)
+		jobs[i] = job.New(i, s, s+1+r.Int63n(c.MaxLen))
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// Clique returns a clique instance: every job contains a common witness
+// time in the middle of the horizon.
+func Clique(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	t := c.MaxTime / 2
+	jobs := make([]job.Job, c.N)
+	for i := range jobs {
+		left := 1 + r.Int63n(c.MaxLen)
+		right := 1 + r.Int63n(c.MaxLen)
+		jobs[i] = job.New(i, t-left, t+right)
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// Proper returns a proper instance: starts and ends are both strictly
+// increasing, so no job properly contains another.
+func Proper(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, c.N)
+	var s, e int64 = 0, 1 + r.Int63n(c.MaxLen)
+	for i := range jobs {
+		jobs[i] = job.New(i, s, e)
+		s += 1 + r.Int63n(maxi64(c.MaxLen/2, 1))
+		e = maxi64(e+1+r.Int63n(maxi64(c.MaxLen/2, 1)), s+1)
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// ProperClique returns an instance that is both proper and a clique: all
+// starts strictly increase below a pivot time, all ends strictly increase
+// above it.
+func ProperClique(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, c.N)
+	n := int64(c.N)
+	pivotLo := n + 1 // starts live in [0, pivotLo)
+	starts := make([]int64, c.N)
+	ends := make([]int64, c.N)
+	var s int64
+	for i := range starts {
+		starts[i] = s
+		s += 1 + r.Int63n(maxi64(pivotLo/maxi64(n, 1), 2))
+	}
+	e := s + 1 + r.Int63n(c.MaxLen) // first end beyond every start
+	for i := range ends {
+		ends[i] = e
+		e += 1 + r.Int63n(c.MaxLen)
+	}
+	for i := range jobs {
+		jobs[i] = job.New(i, starts[i], ends[i])
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// OneSided returns a one-sided clique instance; sharedStart selects whether
+// starts or ends coincide.
+func OneSided(seed int64, c Config, sharedStart bool) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, c.N)
+	anchor := c.MaxTime / 2
+	for i := range jobs {
+		l := 1 + r.Int63n(c.MaxLen)
+		if sharedStart {
+			jobs[i] = job.New(i, anchor, anchor+l)
+		} else {
+			jobs[i] = job.New(i, anchor-l, anchor)
+		}
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// Cloud returns a cloud-computing style workload (Section 1): task arrivals
+// follow a geometric inter-arrival process (the discrete analogue of
+// Poisson arrivals) and durations are bounded bursts. Weights model
+// per-task value for the budgeted throughput problem.
+func Cloud(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, c.N)
+	var t int64
+	meanGap := maxi64(c.MaxTime/maxi64(int64(c.N), 1), 1)
+	for i := range jobs {
+		// Geometric inter-arrival with mean ~ meanGap.
+		gap := int64(0)
+		for r.Int63n(meanGap+1) != 0 && gap < 4*meanGap {
+			gap++
+		}
+		t += gap
+		d := 1 + r.Int63n(c.MaxLen)
+		jobs[i] = job.New(i, t, t+d)
+		jobs[i].Weight = 1 + r.Int63n(9)
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// Lightpaths returns an optical-network style workload (Section 1):
+// connections along a line network, modeled as intervals over node
+// positions; grooming factor g plays the machine-capacity role. Requests
+// cluster around hub nodes to create heavy overlap.
+func Lightpaths(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, c.N)
+	hubs := []int64{c.MaxTime / 4, c.MaxTime / 2, 3 * c.MaxTime / 4}
+	for i := range jobs {
+		hub := hubs[r.Intn(len(hubs))]
+		left := r.Int63n(c.MaxLen + 1)
+		right := 1 + r.Int63n(c.MaxLen)
+		s := hub - left
+		jobs[i] = job.New(i, s, hub+right)
+	}
+	return job.Instance{Jobs: jobs, G: c.G}
+}
+
+// WithDemands assigns random capacity demands in [1, maxDemand] to a copy
+// of the instance (variable-capacity extension of Section 5 / [16]).
+func WithDemands(seed int64, in job.Instance, maxDemand int64) job.Instance {
+	if maxDemand < 1 || maxDemand > int64(in.G) {
+		panic(fmt.Sprintf("workload: maxDemand %d outside [1, g=%d]", maxDemand, in.G))
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := in.Clone()
+	for i := range out.Jobs {
+		out.Jobs[i].Demand = 1 + r.Int63n(maxDemand)
+	}
+	return out
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

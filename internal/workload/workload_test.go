@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/igraph"
+	"repro/internal/rect"
+)
+
+var cfg = Config{N: 20, G: 3, MaxTime: 100, MaxLen: 30}
+
+func TestGeneralShape(t *testing.T) {
+	in := General(1, cfg)
+	if len(in.Jobs) != 20 || in.G != 3 {
+		t.Fatalf("shape = %d jobs g=%d", len(in.Jobs), in.G)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := General(42, cfg), General(42, cfg)
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatal("same seed produced different instances")
+		}
+	}
+	c := General(43, cfg)
+	same := true
+	for i := range a.Jobs {
+		if a.Jobs[i] != c.Jobs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestCliqueIsClique(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		in := Clique(seed, cfg)
+		if !igraph.IsClique(in.Jobs) {
+			t.Fatalf("seed %d: not a clique", seed)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProperIsProper(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		in := Proper(seed, cfg)
+		if !igraph.IsProper(in.Jobs) {
+			t.Fatalf("seed %d: not proper", seed)
+		}
+	}
+}
+
+func TestProperCliqueIsBoth(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		in := ProperClique(seed, cfg)
+		if !igraph.IsProperClique(in.Jobs) {
+			t.Fatalf("seed %d: not a proper clique", seed)
+		}
+	}
+}
+
+func TestOneSided(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		if igraph.OneSidedness(OneSided(seed, cfg, true).Jobs) != igraph.SharedStart {
+			t.Fatalf("seed %d: shared start violated", seed)
+		}
+		if igraph.OneSidedness(OneSided(seed, cfg, false).Jobs) != igraph.SharedEnd {
+			t.Fatalf("seed %d: shared end violated", seed)
+		}
+	}
+}
+
+func TestCloudHasWeights(t *testing.T) {
+	in := Cloud(7, cfg)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for _, j := range in.Jobs {
+		if j.Weight > 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Error("cloud workload should carry non-trivial weights")
+	}
+}
+
+func TestLightpathsValid(t *testing.T) {
+	in := Lightpaths(9, cfg)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Jobs) != cfg.N {
+		t.Fatalf("n = %d", len(in.Jobs))
+	}
+}
+
+func TestWithDemands(t *testing.T) {
+	base := General(3, cfg)
+	in := WithDemands(4, base, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, j := range in.Jobs {
+		if j.Demand < 1 || j.Demand > 3 {
+			t.Fatalf("demand %d outside range", j.Demand)
+		}
+		seen[j.Demand] = true
+	}
+	if len(seen) < 2 {
+		t.Error("demands should vary")
+	}
+	// Base must be untouched.
+	for _, j := range base.Jobs {
+		if j.Demand != 1 {
+			t.Fatal("WithDemands mutated its input")
+		}
+	}
+}
+
+func TestWithDemandsPanicsOnBadMax(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	WithDemands(1, General(1, cfg), 99)
+}
+
+func TestBoundedGammaRects(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := BoundedGammaRects(seed, cfg, 5)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if g := rect.Gamma(in.Rects(), 1); g > 5 {
+			t.Fatalf("seed %d: gamma1 = %v > 5", seed, g)
+		}
+	}
+}
+
+func TestFigure3Counts(t *testing.T) {
+	g := 6
+	in, err := Figure3(g, 2, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// g(g-3) X's + 8g others.
+	want := g*(g-3) + 8*g
+	if len(in.Jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(in.Jobs), want)
+	}
+}
+
+func TestFigure3Predictions(t *testing.T) {
+	// At scale 1000, eps 1, gamma 1, g 4: check the closed forms agree
+	// with directly computed areas of the construction.
+	in, err := Figure3(4, 1, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// span(Y) computed from the union of one copy of each rectangle must
+	// equal Figure3FirstFitCost / g.
+	seen := map[string]bool{}
+	var distinct []rect.Rect
+	for _, j := range in.Jobs {
+		k := j.Rect.String()
+		if !seen[k] {
+			seen[k] = true
+			distinct = append(distinct, j.Rect)
+		}
+	}
+	if len(distinct) != 9 {
+		t.Fatalf("distinct rects = %d, want 9", len(distinct))
+	}
+	union := rect.UnionArea(distinct)
+	if got := Figure3FirstFitCost(4, 1, 1000, 1); got != 4*union {
+		t.Errorf("Figure3FirstFitCost = %d, want 4*union = %d", got, 4*union)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad config accepted")
+		}
+	}()
+	General(1, Config{N: -1, G: 1, MaxTime: 10, MaxLen: 5})
+}
