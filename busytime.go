@@ -16,6 +16,10 @@
 //     (including a weighted variant), a 4-approximation for cliques.
 //   - Two-dimensional jobs (time × day rectangles): FirstFit2D and
 //     BucketFirstFit with the paper's logarithmic guarantee.
+//   - Online scheduling (beyond-paper): jobs arrive over time and are
+//     committed irrevocably; strategies OnlineNaive, OnlineFirstFit and
+//     OnlineBuckets replay rigid or flexible-window streams and report
+//     empirical competitive ratios against the offline algorithms.
 //
 // The package is a facade over internal implementation packages; all
 // functionality is reachable from here. Quick start:
@@ -32,6 +36,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/job"
 	"repro/internal/localsearch"
+	"repro/internal/online"
 	"repro/internal/rect"
 	"repro/internal/workload"
 )
@@ -162,6 +167,47 @@ var (
 	ImproveSchedule = localsearch.Improve
 )
 
+// Online scheduling (beyond-paper extension, after Shalom et al., "Online
+// optimization of busy time on parallel machines", and Albers & van der
+// Heijden, arXiv:2405.08595): jobs arrive over time and are committed to
+// machines irrevocably, with busy time accruing as machines open and
+// close.
+type (
+	// OnlineStrategy is an online placement policy fed by ReplayOnline.
+	OnlineStrategy = online.Strategy
+	// OnlineResult is a replayed run: committed schedule plus statistics.
+	OnlineResult = online.Result
+	// OnlineReport measures a strategy against the offline baselines.
+	OnlineReport = online.Report
+	// OnlineMachine is one open machine's state, visible to strategies.
+	OnlineMachine = online.Machine
+	// FlexJob is a flexible job scheduled anywhere inside its window.
+	FlexJob = online.FlexJob
+	// StartPolicy commits a flexible job's start time at its release.
+	StartPolicy = online.StartPolicy
+)
+
+var (
+	// OnlineNaive opens one machine per arrival (g-competitive baseline).
+	OnlineNaive = online.Naive
+	// OnlineFirstFit places each arrival on the first open machine it fits.
+	OnlineFirstFit = online.FirstFit
+	// OnlineBuckets runs FirstFit within doubling length classes.
+	OnlineBuckets = online.Buckets
+	// ReplayOnline feeds an instance through a strategy in arrival order.
+	ReplayOnline = online.Replay
+	// ReplayFlexible replays flexible jobs under a start policy.
+	ReplayFlexible = online.FlexReplay
+	// CompareOnline reports empirical competitive ratios per strategy.
+	CompareOnline = online.Compare
+	// NewFlexJob builds a flexible job with a [release, deadline) window.
+	NewFlexJob = online.NewFlexJob
+	// StartASAP commits every flexible job at its release time.
+	StartASAP = online.StartASAP
+	// StartAligned delays a flexible job into an open busy period.
+	StartAligned = online.StartAligned
+)
+
 // Workload generation, re-exported for examples and downstream benchmarks.
 type WorkloadConfig = workload.Config
 
@@ -184,4 +230,12 @@ var (
 	GenerateBoundedGammaRects = workload.BoundedGammaRects
 	// GenerateFigure3 builds the adversarial family of Figure 3.
 	GenerateFigure3 = workload.Figure3
+	// GenerateArrivals returns a general instance in arrival order.
+	GenerateArrivals = workload.Arrivals
+	// GenerateBurstyArrivals returns an arrival stream with simultaneous
+	// release bursts.
+	GenerateBurstyArrivals = workload.BurstyArrivals
+	// GenerateAdversarialOnline builds the Ω(g) lower-bound stream for
+	// online FirstFit.
+	GenerateAdversarialOnline = workload.AdversarialFirstFit
 )

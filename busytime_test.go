@@ -90,6 +90,51 @@ func TestExactOracleExported(t *testing.T) {
 	}
 }
 
+func TestOnlineFacade(t *testing.T) {
+	in := busytime.GenerateArrivals(1, busytime.WorkloadConfig{N: 14, G: 2, MaxTime: 80, MaxLen: 25})
+	for _, st := range []busytime.OnlineStrategy{
+		busytime.OnlineNaive(), busytime.OnlineFirstFit(), busytime.OnlineBuckets(),
+	} {
+		res, err := busytime.ReplayOnline(in, st)
+		if err != nil {
+			t.Fatalf("%s: %v", st.Name(), err)
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("%s: %v", st.Name(), err)
+		}
+		if res.Schedule.Throughput() != len(in.Jobs) {
+			t.Fatalf("%s: left jobs unscheduled", st.Name())
+		}
+	}
+	reports, err := busytime.CompareOnline(in, busytime.OnlineFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].HasExact || reports[0].VsExact() < 1 {
+		t.Errorf("bad report %+v", reports[0])
+	}
+
+	flex := []busytime.FlexJob{
+		busytime.NewFlexJob(0, 0, 30, 10),
+		busytime.NewFlexJob(1, 5, 40, 8),
+	}
+	res, err := busytime.ReplayFlexible(2, flex, busytime.StartAligned(), busytime.OnlineFirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	adv, err := busytime.GenerateAdversarialOnline(3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRectFacade(t *testing.T) {
 	in, err := busytime.GenerateFigure3(4, 1, 1000, 1)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		workloadName = flag.String("workload", "general", "workload family: general|clique|proper|proper-clique|one-sided|cloud|lightpaths")
+		workloadName = flag.String("workload", "general", "workload family: "+strings.Join(workload.Names(), "|"))
 		n            = flag.Int("n", 20, "number of jobs")
 		g            = flag.Int("g", 2, "machine capacity (parallelism parameter)")
 		seed         = flag.Int64("seed", 1, "random seed")
@@ -92,24 +93,7 @@ func buildInstance(path, family string, seed int64, cfg workload.Config) (job.In
 		}
 		return in, nil
 	}
-	switch family {
-	case "general":
-		return workload.General(seed, cfg), nil
-	case "clique":
-		return workload.Clique(seed, cfg), nil
-	case "proper":
-		return workload.Proper(seed, cfg), nil
-	case "proper-clique":
-		return workload.ProperClique(seed, cfg), nil
-	case "one-sided":
-		return workload.OneSided(seed, cfg, true), nil
-	case "cloud":
-		return workload.Cloud(seed, cfg), nil
-	case "lightpaths":
-		return workload.Lightpaths(seed, cfg), nil
-	default:
-		return job.Instance{}, fmt.Errorf("unknown workload %q", family)
-	}
+	return workload.ByName(family, seed, cfg)
 }
 
 func runAlgorithm(alg string, in job.Instance, budget int64) (core.Schedule, string, error) {

@@ -12,9 +12,7 @@ import (
 
 func TestBuildInstanceFamilies(t *testing.T) {
 	cfg := workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30}
-	for _, family := range []string{
-		"general", "clique", "proper", "proper-clique", "one-sided", "cloud", "lightpaths",
-	} {
+	for _, family := range workload.Names() {
 		in, err := buildInstance("", family, 1, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", family, err)

@@ -1,0 +1,157 @@
+// Command onlinesim replays busy-time scheduling instances through the
+// online strategies in arrival order and reports each strategy's cost,
+// machine usage, and empirical competitive ratio against the offline
+// algorithms (and the exact oracle on small instances).
+//
+// Usage examples:
+//
+//	onlinesim -workload arrivals -n 30 -g 3 -seed 7
+//	onlinesim -workload adversarial -g 4 -longlen 400
+//	onlinesim -workload bursty -n 50 -g 4 -strategy firstfit -json
+//	onlinesim -in instance.json -strategy all
+//
+// With -json the reports are printed as JSON for piping into other tools;
+// otherwise a fixed-width table is printed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exact"
+	"repro/internal/igraph"
+	"repro/internal/job"
+	"repro/internal/online"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "arrivals", "workload family: "+strings.Join(workload.Names(), "|")+"|adversarial")
+		n            = flag.Int("n", 20, "number of jobs")
+		g            = flag.Int("g", 2, "machine capacity (parallelism parameter)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		maxTime      = flag.Int64("maxtime", 200, "workload horizon")
+		maxLen       = flag.Int64("maxlen", 50, "maximum job length")
+		longLen      = flag.Int64("longlen", 0, "long-job length for the adversarial family (default 100g)")
+		strategyName = flag.String("strategy", "all", "strategy: naive|firstfit|buckets|all")
+		inFile       = flag.String("in", "", "load instance JSON instead of generating")
+		outJSON      = flag.Bool("json", false, "emit JSON output")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*inFile, *workloadName, *seed, *longLen,
+		workload.Config{N: *n, G: *g, MaxTime: *maxTime, MaxLen: *maxLen})
+	if err != nil {
+		fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		fatal(err)
+	}
+	strategies, err := pickStrategies(*strategyName)
+	if err != nil {
+		fatal(err)
+	}
+	reports, err := online.Compare(in, strategies...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *outJSON {
+		emitJSON(in, reports)
+		return
+	}
+	emitText(in, reports)
+}
+
+func buildInstance(path, family string, seed, longLen int64, cfg workload.Config) (job.Instance, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return job.Instance{}, err
+		}
+		var in job.Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return job.Instance{}, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		return in, nil
+	}
+	if family == "adversarial" {
+		if longLen <= 0 {
+			longLen = 100 * int64(cfg.G)
+		}
+		return workload.AdversarialFirstFit(cfg.G, longLen)
+	}
+	return workload.ByName(family, seed, cfg)
+}
+
+func pickStrategies(name string) ([]online.Strategy, error) {
+	switch name {
+	case "naive":
+		return []online.Strategy{online.Naive()}, nil
+	case "firstfit":
+		return []online.Strategy{online.FirstFit()}, nil
+	case "buckets":
+		return []online.Strategy{online.Buckets()}, nil
+	case "all":
+		return []online.Strategy{online.Naive(), online.FirstFit(), online.Buckets()}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", name)
+	}
+}
+
+func emitText(in job.Instance, reports []online.Report) {
+	fmt.Printf("instance: n=%d g=%d class=%s len=%d span=%d LB=%d\n",
+		len(in.Jobs), in.G, igraph.Classify(in.Jobs), in.TotalLen(), in.Span(), in.LowerBound())
+	if len(reports) == 0 {
+		return
+	}
+	r0 := reports[0]
+	fmt.Printf("offline: %s cost=%d", r0.OfflineAlg, r0.OfflineCost)
+	if r0.HasExact {
+		fmt.Printf("  exact cost=%d", r0.ExactCost)
+	} else {
+		fmt.Printf("  exact skipped (n > %d)", exact.MaxN)
+	}
+	fmt.Println()
+
+	t := stats.Table{Header: []string{"strategy", "cost", "machines", "peak", "vs-offline", "vs-exact", "vs-LB"}}
+	for _, r := range reports {
+		vsExact := "-"
+		if r.HasExact {
+			vsExact = fmt.Sprintf("%.3f", r.VsExact())
+		}
+		t.Add(r.Strategy, r.Cost, r.Machines, r.PeakOpen,
+			fmt.Sprintf("%.3f", r.VsOffline()), vsExact, fmt.Sprintf("%.3f", r.VsLowerBound()))
+	}
+	fmt.Print(t.String())
+}
+
+type output struct {
+	N       int             `json:"n"`
+	G       int             `json:"g"`
+	Class   string          `json:"class"`
+	Reports []online.Report `json:"reports"`
+}
+
+func emitJSON(in job.Instance, reports []online.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(output{
+		N:       len(in.Jobs),
+		G:       in.G,
+		Class:   igraph.Classify(in.Jobs).String(),
+		Reports: reports,
+	}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "onlinesim:", err)
+	os.Exit(1)
+}

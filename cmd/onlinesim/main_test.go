@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/workload"
+)
+
+func TestBuildInstanceFamilies(t *testing.T) {
+	cfg := workload.Config{N: 8, G: 4, MaxTime: 100, MaxLen: 30}
+	for _, family := range workload.Names() {
+		in, err := buildInstance("", family, 1, 0, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if len(in.Jobs) != 8 {
+			t.Errorf("%s: %d jobs", family, len(in.Jobs))
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", family, err)
+		}
+	}
+	adv, err := buildInstance("", "adversarial", 1, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := adv.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := buildInstance("", "nope", 1, 0, cfg); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestBuildInstanceFromFile(t *testing.T) {
+	in := job.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := buildInstance(path, "ignored", 1, 0, workload.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != 2 || got.G != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := buildInstance(filepath.Join(t.TempDir(), "missing.json"), "", 1, 0, workload.Config{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPickStrategies(t *testing.T) {
+	for name, want := range map[string]int{"naive": 1, "firstfit": 1, "buckets": 1, "all": 3} {
+		sts, err := pickStrategies(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sts) != want {
+			t.Errorf("%s: %d strategies, want %d", name, len(sts), want)
+		}
+	}
+	if _, err := pickStrategies("bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

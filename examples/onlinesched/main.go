@@ -1,0 +1,52 @@
+// Command onlinesched demonstrates the online scheduling facade: an
+// arrival stream replayed through the three strategies, the adversarial
+// Ω(g) family, and a flexible-window replay.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	busytime "repro"
+)
+
+func main() {
+	// A random arrival-ordered stream, replayed through each strategy.
+	in := busytime.GenerateArrivals(7, busytime.WorkloadConfig{N: 16, G: 3, MaxTime: 120, MaxLen: 30})
+	reports, err := busytime.CompareOnline(in,
+		busytime.OnlineNaive(), busytime.OnlineFirstFit(), busytime.OnlineBuckets())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arrival stream: n=%d g=%d offline=%d (%s) exact=%d\n",
+		len(in.Jobs), in.G, reports[0].OfflineCost, reports[0].OfflineAlg, reports[0].ExactCost)
+	for _, r := range reports {
+		fmt.Printf("  %-16s cost=%-4d machines=%-3d ratio vs exact=%.3f\n",
+			r.Strategy, r.Cost, r.Machines, r.VsExact())
+	}
+
+	// The lower-bound stream: FirstFit pays ~g times the optimum.
+	adv, err := busytime.GenerateAdversarialOnline(3, 30)
+	if err != nil {
+		log.Fatal(err)
+	}
+	advReports, err := busytime.CompareOnline(adv, busytime.OnlineFirstFit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adversarial g=3: firstfit=%d exact=%d ratio=%.3f\n",
+		advReports[0].Cost, advReports[0].ExactCost, advReports[0].VsExact())
+
+	// Flexible jobs: StartAligned tucks a unit job into the busy period a
+	// long job already pays for.
+	flex := []busytime.FlexJob{
+		busytime.NewFlexJob(0, 0, 100, 100),
+		busytime.NewFlexJob(1, 10, 200, 5),
+	}
+	res, err := busytime.ReplayFlexible(2, flex, busytime.StartAligned(), busytime.OnlineFirstFit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flexible: %s cost=%d machines=%d (job 1 committed to %v)\n",
+		res.Strategy, res.Cost, res.MachinesOpened, res.Schedule.Instance.Jobs[1].Interval)
+}

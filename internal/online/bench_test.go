@@ -1,0 +1,46 @@
+// Benchmarks for the online strategies: arrival-stream replay at n = 1k
+// and 10k, the perf trajectory for the online path.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem ./internal/online
+package online
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func benchReplay(b *testing.B, st Strategy) {
+	for _, n := range []int{1000, 10000} {
+		in := workload.Arrivals(1, workload.Config{N: n, G: 4, MaxTime: int64(n) * 5, MaxLen: 200})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Replay(in, st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkReplayNaive(b *testing.B)    { benchReplay(b, Naive()) }
+func BenchmarkReplayFirstFit(b *testing.B) { benchReplay(b, FirstFit()) }
+func BenchmarkReplayBuckets(b *testing.B)  { benchReplay(b, Buckets()) }
+
+func BenchmarkFlexReplay(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		flex := randomFlex(1, n, int64(n)*5, 200)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := FlexReplay(4, flex, StartAligned(), FirstFit()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

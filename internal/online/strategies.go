@@ -1,0 +1,67 @@
+package online
+
+import (
+	"math/bits"
+
+	"repro/internal/job"
+)
+
+// Naive returns the per-job baseline: every arrival opens its own machine.
+// Its cost is exactly len(J), so by Observation 2.1 it is g-competitive —
+// the online analogue of the Proposition 2.1 NaivePerJob baseline.
+func Naive() Strategy { return naive{} }
+
+type naive struct{}
+
+func (naive) Name() string { return "online-naive" }
+
+func (naive) Pick(open []*Machine, j job.Job) (int, int64) { return -1, 0 }
+
+// FirstFit returns the online FirstFit strategy: each arriving job goes to
+// the lowest-numbered open machine it fits on, else a fresh machine. It is
+// the arrival-order counterpart of core.FirstFit; fit checks ride the same
+// interval treaps as core.FirstFitFast. On adversarial streams it pays
+// Ω(g)·OPT (see workload.AdversarialFirstFit), but on stochastic arrivals
+// it tracks the offline cost closely.
+func FirstFit() Strategy { return firstFit{} }
+
+type firstFit struct{}
+
+func (firstFit) Name() string { return "online-firstfit" }
+
+func (firstFit) Pick(open []*Machine, j job.Job) (int, int64) {
+	for i, m := range open {
+		if m.Fits(j.Interval) {
+			return i, 0
+		}
+	}
+	return -1, 0
+}
+
+// Buckets returns the doubling-bucket strategy: jobs are classified by
+// ⌈log₂ len⌉ and FirstFit runs separately inside each class, so a machine
+// only ever mixes jobs whose lengths are within a factor of two. This is
+// the geometric-rounding idea behind the Albers–van der Heijden
+// bucket algorithms (and the paper's own BucketFirstFit in 2-D): grouping
+// near-equal lengths bounds how much a long job can stretch a machine
+// opened for short ones, at the price of more open machines.
+func Buckets() Strategy { return buckets{} }
+
+type buckets struct{}
+
+func (buckets) Name() string { return "online-buckets" }
+
+func (buckets) Pick(open []*Machine, j job.Job) (int, int64) {
+	class := lenClass(j.Len())
+	for i, m := range open {
+		if m.Tag() == class && m.Fits(j.Interval) {
+			return i, 0
+		}
+	}
+	return -1, class
+}
+
+// lenClass returns ⌈log₂ l⌉, the doubling bucket of a length l >= 1.
+func lenClass(l int64) int64 {
+	return int64(bits.Len64(uint64(l - 1)))
+}

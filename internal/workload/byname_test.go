@@ -1,0 +1,41 @@
+package workload
+
+import "testing"
+
+func TestByNameCoversAllFamilies(t *testing.T) {
+	cfg := Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30}
+	for _, family := range Names() {
+		in, err := ByName(family, 1, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if len(in.Jobs) != 8 {
+			t.Errorf("%s: %d jobs, want 8", family, len(in.Jobs))
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", family, err)
+		}
+	}
+	if _, err := ByName("nope", 1, cfg); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := ByName("general", 1, Config{N: 8, G: 0, MaxTime: 100, MaxLen: 30}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestConfigErr(t *testing.T) {
+	if err := (Config{N: 1, G: 1, MaxTime: 1, MaxLen: 1}).Err(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, c := range []Config{
+		{N: -1, G: 1, MaxTime: 1, MaxLen: 1},
+		{N: 1, G: 0, MaxTime: 1, MaxLen: 1},
+		{N: 1, G: 1, MaxTime: -1, MaxLen: 1},
+		{N: 1, G: 1, MaxTime: 1, MaxLen: 0},
+	} {
+		if c.Err() == nil {
+			t.Errorf("bad config %+v accepted", c)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+)
+
+// Arrivals returns a general random instance re-indexed into arrival order
+// (non-decreasing start, ties by end), the stream shape consumed by the
+// online schedulers: job ID equals arrival rank.
+func Arrivals(seed int64, c Config) job.Instance {
+	return arrivalIndexed(General(seed, c))
+}
+
+// arrivalIndexed canonicalizes an instance into arrival order with job ID
+// equal to arrival rank.
+func arrivalIndexed(in job.Instance) job.Instance {
+	out := in.SortedByStart()
+	for i := range out.Jobs {
+		out.Jobs[i].ID = i
+	}
+	return out
+}
+
+// BurstyArrivals returns an arrival-ordered instance whose jobs come in
+// bursts: groups of up to G simultaneous releases separated by random
+// gaps, the arrival pattern that most rewards packing arrivals together.
+func BurstyArrivals(seed int64, c Config) job.Instance {
+	c.check()
+	r := c.rng(seed)
+	jobs := make([]job.Job, 0, c.N)
+	var t int64
+	meanGap := maxi64(c.MaxTime/maxi64(int64(c.N), 1), 1)
+	for len(jobs) < c.N {
+		burst := 1 + r.Intn(c.G)
+		if rest := c.N - len(jobs); burst > rest {
+			burst = rest
+		}
+		for k := 0; k < burst; k++ {
+			jobs = append(jobs, job.New(len(jobs), t, t+1+r.Int63n(c.MaxLen)))
+		}
+		t += 1 + r.Int63n(2*meanGap+1)
+	}
+	return arrivalIndexed(job.Instance{Jobs: jobs, G: c.G})
+}
+
+// AdversarialFirstFit returns the lower-bound stream on which online
+// FirstFit pays Ω(g)·OPT. The stream runs g rounds three ticks apart; in
+// round i, i·(g−1) two-tick blocker jobs arrive first and occupy every
+// free thread of every open machine, so the round's long job (length
+// longLen, starting one tick later) fits nowhere and opens a fresh
+// machine. FirstFit therefore pays about g·longLen, while offline all g
+// long jobs pairwise overlap and share a single machine, for a cost of
+// about longLen plus the blockers — a ratio approaching g as longLen
+// grows. longLen must exceed 3g so the long jobs pairwise overlap.
+//
+// The instance has g + g(g−1)²/2 jobs; g = 3 stays within exact.MaxN.
+func AdversarialFirstFit(g int, longLen int64) (job.Instance, error) {
+	if g < 2 {
+		return job.Instance{}, fmt.Errorf("workload: AdversarialFirstFit requires g >= 2, got %d", g)
+	}
+	if longLen <= 3*int64(g) {
+		return job.Instance{}, fmt.Errorf("workload: AdversarialFirstFit requires longLen > 3g = %d, got %d", 3*g, longLen)
+	}
+	var jobs []job.Job
+	id := 0
+	add := func(start, end int64) {
+		jobs = append(jobs, job.New(id, start, end))
+		id++
+	}
+	for i := 0; i < g; i++ {
+		t := int64(3 * i)
+		for k := 0; k < i*(g-1); k++ {
+			add(t, t+2)
+		}
+		add(t+1, t+1+longLen)
+	}
+	return job.Instance{Jobs: jobs, G: g}, nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestArrivalsOrdered(t *testing.T) {
+	in := Arrivals(3, Config{N: 50, G: 3, MaxTime: 300, MaxLen: 40})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(in.Jobs); i++ {
+		if in.Jobs[i].Start() < in.Jobs[i-1].Start() {
+			t.Fatalf("job %d starts before job %d", i, i-1)
+		}
+	}
+	for i, j := range in.Jobs {
+		if j.ID != i {
+			t.Fatalf("job at position %d has ID %d, want arrival rank", i, j.ID)
+		}
+	}
+}
+
+func TestBurstyArrivalsShape(t *testing.T) {
+	in := BurstyArrivals(5, Config{N: 47, G: 4, MaxTime: 200, MaxLen: 30})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Jobs) != 47 {
+		t.Fatalf("%d jobs, want 47", len(in.Jobs))
+	}
+	sameStart := 0
+	for i := 1; i < len(in.Jobs); i++ {
+		if in.Jobs[i].Start() < in.Jobs[i-1].Start() {
+			t.Fatalf("job %d starts before job %d", i, i-1)
+		}
+		if in.Jobs[i].Start() == in.Jobs[i-1].Start() {
+			sameStart++
+		}
+	}
+	if sameStart == 0 {
+		t.Error("no simultaneous releases in a bursty stream")
+	}
+}
+
+func TestAdversarialFirstFitShape(t *testing.T) {
+	g := 4
+	in, err := AdversarialFirstFit(g, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := g + g*(g-1)*(g-1)/2
+	if len(in.Jobs) != want {
+		t.Fatalf("%d jobs, want %d", len(in.Jobs), want)
+	}
+	longs := 0
+	for _, j := range in.Jobs {
+		switch j.Len() {
+		case 2:
+		case 100:
+			longs++
+		default:
+			t.Fatalf("unexpected job length %d", j.Len())
+		}
+	}
+	if longs != g {
+		t.Fatalf("%d long jobs, want g = %d", longs, g)
+	}
+}
+
+func TestAdversarialFirstFitErrors(t *testing.T) {
+	if _, err := AdversarialFirstFit(1, 100); err == nil {
+		t.Error("g=1 accepted")
+	}
+	if _, err := AdversarialFirstFit(4, 12); err == nil {
+		t.Error("longLen <= 3g accepted")
+	}
+}

@@ -25,9 +25,19 @@ type Config struct {
 
 func (c Config) rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-func (c Config) check() {
+// Err reports why the config is unusable, or nil. CLIs check it up front
+// to reject bad flags cleanly; the generators panic on it (via check),
+// since reaching them with a bad config is a programming error.
+func (c Config) Err() error {
 	if c.N < 0 || c.G < 1 || c.MaxLen < 1 || c.MaxTime < 0 {
-		panic(fmt.Sprintf("workload: bad config %+v", c))
+		return fmt.Errorf("workload: bad config %+v: need N >= 0, G >= 1, MaxLen >= 1, MaxTime >= 0", c)
+	}
+	return nil
+}
+
+func (c Config) check() {
+	if err := c.Err(); err != nil {
+		panic(err.Error())
 	}
 }
 
