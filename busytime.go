@@ -22,11 +22,24 @@
 //     empirical competitive ratios against the offline algorithms.
 //
 // The package is a facade over internal implementation packages; all
-// functionality is reachable from here. Quick start:
+// functionality is reachable from here. The primary entry point is the
+// Solver: a Request names an instance and a problem kind, Solve is
+// context-cancellable, and the structured Result carries the schedule,
+// the algorithm used, the detected class, cost and machine statistics,
+// the Observation 2.1 lower bound with the achieved ratio, and a
+// Certificate() feasibility check. Quick start:
 //
 //	in := busytime.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15})
-//	s, algorithm := busytime.MinBusy(in)
-//	fmt.Println(algorithm, s.Cost())
+//	res, err := busytime.NewSolver().Solve(context.Background(),
+//		busytime.Request{Instance: in})
+//	fmt.Println(res.Algorithm, res.Cost, res.Certificate())
+//
+// Every algorithm is registered in a central registry (Algorithms,
+// LookupAlgorithm, AlgorithmFor) with its name, problem kind, applicable
+// instance classes and approximation guarantee; auto dispatch and the
+// CLI -algo flags resolve through it. The top-level helpers below
+// (MinBusy, MaxThroughput, and the named algorithm variables) predate
+// the Solver and remain as thin wrappers.
 package busytime
 
 import (
@@ -87,12 +100,17 @@ func Classify(jobs []Job) Class { return igraph.Classify(jobs) }
 
 // MinBusy schedules all jobs with the strongest algorithm applicable to
 // the instance's class and returns the schedule and the algorithm name.
-// It is the entry point most users want.
+//
+// Deprecated: use NewSolver().Solve with a KindMinBusy Request, which
+// adds context cancellation and a structured Result. MinBusy remains for
+// existing callers and dispatches identically.
 func MinBusy(in Instance) (Schedule, string) { return core.MinBusyAuto(in) }
 
 // MaxThroughput schedules a maximum subset of jobs within the busy-time
 // budget using the strongest applicable algorithm, returning the schedule
 // and algorithm name.
+//
+// Deprecated: use NewSolver().Solve with a KindMaxThroughput Request.
 func MaxThroughput(in Instance, budget int64) (Schedule, string) {
 	return core.ThroughputAuto(in, budget)
 }

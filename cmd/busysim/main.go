@@ -1,29 +1,32 @@
 // Command busysim generates or loads busy-time scheduling instances, runs
-// a chosen algorithm, and reports cost, throughput, machine count and
-// validity.
+// a chosen algorithm through the Solver API, and reports cost,
+// throughput, machine count and validity.
 //
 // Usage examples:
 //
 //	busysim -workload clique -n 20 -g 2 -seed 7 -alg auto
-//	busysim -workload proper -n 50 -g 4 -alg bestcut -json
-//	busysim -in instance.json -alg firstfit
+//	busysim -workload proper -n 50 -g 4 -alg best-cut -json
+//	busysim -in instance.json -alg first-fit
 //	busysim -workload proper-clique -n 30 -g 3 -alg throughput -budget 500
 //	busysim -workload general -n 12 -g 2 -alg exact
 //
-// With -json the instance and schedule are printed as JSON for piping into
-// other tools; otherwise a human-readable summary is printed.
+// -alg accepts any registered algorithm name or alias (the historical
+// short spellings keep working), plus "auto" (MinBusy dispatch) and
+// "throughput" (MaxThroughput dispatch, needs -budget). An unknown name
+// lists the registry. With -json the instance and schedule are printed
+// as JSON for piping into other tools (cmd/verify consumes it);
+// otherwise a human-readable summary is printed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/igraph"
+	busytime "repro"
 	"repro/internal/job"
 	"repro/internal/render"
 	"repro/internal/workload"
@@ -37,8 +40,9 @@ func main() {
 		seed         = flag.Int64("seed", 1, "random seed")
 		maxTime      = flag.Int64("maxtime", 200, "workload horizon")
 		maxLen       = flag.Int64("maxlen", 50, "maximum job length")
-		alg          = flag.String("alg", "auto", "algorithm: auto|naive|firstfit|bestcut|matching|setcover|consecutive|onesided|exact|throughput|throughput-exact")
+		alg          = flag.String("alg", "auto", "algorithm: auto|throughput|<registered name or alias>")
 		budget       = flag.Int64("budget", -1, "busy-time budget for throughput algorithms")
+		localSearch  = flag.Bool("improve", false, "hill-climb the schedule after solving")
 		inFile       = flag.String("in", "", "load instance JSON instead of generating")
 		outJSON      = flag.Bool("json", false, "emit JSON output")
 		gantt        = flag.Bool("gantt", false, "draw an ASCII Gantt chart of the schedule")
@@ -63,21 +67,21 @@ func main() {
 		return
 	}
 
-	s, name, err := runAlgorithm(*alg, in, *budget)
+	res, err := solve(*alg, in, *budget, *localSearch)
 	if err != nil {
 		fatal(err)
 	}
-	if err := s.Validate(); err != nil {
-		fatal(fmt.Errorf("algorithm %s produced an invalid schedule: %v", name, err))
+	if err := res.Certificate(); err != nil {
+		fatal(fmt.Errorf("algorithm %s produced an uncertifiable schedule: %v", res.Algorithm, err))
 	}
 
 	if *outJSON {
-		emitJSON(in, s, name)
+		emitJSON(in, res)
 		return
 	}
-	emitText(in, s, name)
+	emitText(in, res)
 	if *gantt {
-		fmt.Print(render.Gantt(s, *width))
+		fmt.Print(render.Gantt(res.Schedule, *width))
 	}
 }
 
@@ -96,89 +100,90 @@ func buildInstance(path, family string, seed int64, cfg workload.Config) (job.In
 	return workload.ByName(family, seed, cfg)
 }
 
-func runAlgorithm(alg string, in job.Instance, budget int64) (core.Schedule, string, error) {
-	needBudget := func() (int64, error) {
-		if budget < 0 {
-			return 0, fmt.Errorf("algorithm %q needs -budget", alg)
-		}
-		return budget, nil
-	}
+// solve maps the -alg flag onto a Solver run: "auto" and "throughput"
+// use auto dispatch for their kinds, anything else resolves through the
+// algorithm registry (which reports the full list on unknown names).
+func solve(alg string, in job.Instance, budget int64, localSearch bool) (busytime.Result, error) {
+	req := busytime.Request{Instance: in}
+	var opts []busytime.SolverOption
 	switch alg {
 	case "auto":
-		s, name := core.MinBusyAuto(in)
-		return s, name, nil
-	case "naive":
-		return core.NaivePerJob(in), "naive", nil
-	case "firstfit":
-		return core.FirstFit(in), "firstfit", nil
-	case "bestcut":
-		s, err := core.BestCut(in)
-		return s, "bestcut", err
-	case "matching":
-		s, err := core.CliqueMatching(in)
-		return s, "matching", err
-	case "setcover":
-		s, err := core.CliqueSetCover(in)
-		return s, "setcover", err
-	case "consecutive":
-		s, err := core.FindBestConsecutive(in)
-		return s, "consecutive", err
-	case "onesided":
-		s, err := core.OneSidedGreedy(in)
-		return s, "onesided", err
-	case "exact":
-		s, err := exact.MinBusy(in)
-		return s, "exact", err
+		// MinBusy auto dispatch: no pinned algorithm.
 	case "throughput":
-		b, err := needBudget()
-		if err != nil {
-			return core.Schedule{}, "", err
-		}
-		s, name := core.ThroughputAuto(in, b)
-		return s, name, nil
-	case "throughput-exact":
-		b, err := needBudget()
-		if err != nil {
-			return core.Schedule{}, "", err
-		}
-		s, err := exact.MaxThroughput(in, b)
-		return s, "throughput-exact", err
+		req.Kind = busytime.KindMaxThroughput
 	default:
-		return core.Schedule{}, "", fmt.Errorf("unknown algorithm %q", alg)
+		info, err := lookupEither(alg)
+		if err != nil {
+			return busytime.Result{}, err
+		}
+		req.Kind = info.Kind
+		opts = append(opts, busytime.WithAlgorithm(info.Name))
 	}
+	if req.Kind == busytime.KindMaxThroughput {
+		if budget < 0 {
+			return busytime.Result{}, fmt.Errorf("algorithm %q needs -budget", alg)
+		}
+		req.Budget = budget
+	}
+	if localSearch {
+		opts = append(opts, busytime.WithLocalSearch(0))
+	}
+	return busytime.NewSolver(opts...).Solve(context.Background(), req)
 }
 
-func emitText(in job.Instance, s core.Schedule, name string) {
+// lookupEither resolves a name against the MinBusy registry first, then
+// MaxThroughput, so both kinds' algorithms are reachable from one flag.
+func lookupEither(name string) (busytime.AlgorithmInfo, error) {
+	if info, err := busytime.LookupAlgorithmKind(busytime.KindMinBusy, name); err == nil {
+		return info, nil
+	}
+	info, err := busytime.LookupAlgorithmKind(busytime.KindMaxThroughput, name)
+	if err == nil {
+		return info, nil
+	}
+	return busytime.AlgorithmInfo{}, fmt.Errorf("unknown algorithm %q; available: auto throughput %s %s",
+		name,
+		strings.Join(busytime.AlgorithmNames(busytime.KindMinBusy), " "),
+		strings.Join(busytime.AlgorithmNames(busytime.KindMaxThroughput), " "))
+}
+
+func emitText(in job.Instance, res busytime.Result) {
 	fmt.Printf("instance: n=%d g=%d class=%s len=%d span=%d LB=%d\n",
-		len(in.Jobs), in.G, igraph.Classify(in.Jobs), in.TotalLen(), in.Span(), in.LowerBound())
-	fmt.Printf("algorithm: %s\n", name)
-	fmt.Printf("cost=%d machines=%d scheduled=%d/%d saving=%d\n",
-		s.Cost(), s.Machines(), s.Throughput(), len(in.Jobs), s.Saving())
+		res.N, in.G, res.Class, in.TotalLen(), in.Span(), res.LowerBound)
+	fmt.Printf("algorithm: %s (%v)\n", res.Algorithm, res.Elapsed.Round(1000))
+	fmt.Printf("cost=%d machines=%d scheduled=%d/%d saving=%d ratio-vs-LB=%.3f\n",
+		res.Cost, res.Machines, res.Scheduled, res.N, res.Schedule.Saving(), res.RatioVsBound)
 }
 
 type output struct {
-	Algorithm string       `json:"algorithm"`
-	Class     string       `json:"class"`
-	Cost      int64        `json:"cost"`
-	Machines  int          `json:"machines"`
-	Scheduled int          `json:"scheduled"`
-	N         int          `json:"n"`
-	Machine   []int        `json:"machine"`
-	Instance  job.Instance `json:"instance"`
+	Algorithm    string       `json:"algorithm"`
+	Class        string       `json:"class"`
+	Cost         int64        `json:"cost"`
+	Machines     int          `json:"machines"`
+	Scheduled    int          `json:"scheduled"`
+	N            int          `json:"n"`
+	LowerBound   int64        `json:"lower_bound"`
+	RatioVsBound float64      `json:"ratio_vs_bound"`
+	ElapsedNS    int64        `json:"elapsed_ns"`
+	Machine      []int        `json:"machine"`
+	Instance     job.Instance `json:"instance"`
 }
 
-func emitJSON(in job.Instance, s core.Schedule, name string) {
+func emitJSON(in job.Instance, res busytime.Result) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(output{
-		Algorithm: name,
-		Class:     igraph.Classify(in.Jobs).String(),
-		Cost:      s.Cost(),
-		Machines:  s.Machines(),
-		Scheduled: s.Throughput(),
-		N:         len(in.Jobs),
-		Machine:   s.CompactMachines().Machine,
-		Instance:  in,
+		Algorithm:    res.Algorithm,
+		Class:        res.Class.String(),
+		Cost:         res.Cost,
+		Machines:     res.Machines,
+		Scheduled:    res.Scheduled,
+		N:            res.N,
+		LowerBound:   res.LowerBound,
+		RatioVsBound: res.RatioVsBound,
+		ElapsedNS:    res.Elapsed.Nanoseconds(),
+		Machine:      res.Schedule.CompactMachines().Machine,
+		Instance:     in,
 	}); err != nil {
 		fatal(err)
 	}

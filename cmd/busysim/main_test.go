@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/job"
@@ -51,7 +52,7 @@ func TestBuildInstanceFromFile(t *testing.T) {
 	}
 }
 
-func TestRunAlgorithmDispatch(t *testing.T) {
+func TestSolveDispatch(t *testing.T) {
 	clique := workload.Clique(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30})
 	properClique := workload.ProperClique(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30})
 	oneSided := workload.OneSided(1, workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 30}, true)
@@ -61,42 +62,66 @@ func TestRunAlgorithmDispatch(t *testing.T) {
 		alg    string
 		in     job.Instance
 		budget int64
+		want   string // canonical name the registry resolves to ("" = any)
 	}{
-		{"auto", clique, -1},
-		{"naive", clique, -1},
-		{"firstfit", proper, -1},
-		{"bestcut", proper, -1},
-		{"matching", clique, -1},
-		{"setcover", clique, -1},
-		{"consecutive", properClique, -1},
-		{"onesided", oneSided, -1},
-		{"exact", clique, -1},
-		{"throughput", properClique, 100},
-		{"throughput-exact", clique, 100},
+		{"auto", clique, -1, ""},
+		{"naive", clique, -1, "naive-per-job"},
+		{"firstfit", proper, -1, "first-fit"},
+		{"bestcut", proper, -1, "best-cut"},
+		{"matching", clique, -1, "clique-matching"},
+		{"setcover", clique, -1, "clique-set-cover"},
+		{"consecutive", properClique, -1, "find-best-consecutive"},
+		{"onesided", oneSided, -1, "one-sided-greedy"},
+		{"exact", clique, -1, "exact"},
+		{"throughput", properClique, 100, ""},
+		{"throughput-exact", clique, 100, "exact-throughput"},
+		{"greedy-throughput", clique, 100, "greedy-throughput"},
 	}
 	for _, c := range cases {
-		s, name, err := runAlgorithm(c.alg, c.in, c.budget)
+		res, err := solve(c.alg, c.in, c.budget, false)
 		if err != nil {
 			t.Fatalf("%s: %v", c.alg, err)
 		}
-		if name == "" {
+		if res.Algorithm == "" {
 			t.Errorf("%s: empty algorithm name", c.alg)
 		}
-		if err := s.Validate(); err != nil {
+		if c.want != "" && res.Algorithm != c.want {
+			t.Errorf("%s: resolved to %q, want %q", c.alg, res.Algorithm, c.want)
+		}
+		if err := res.Certificate(); err != nil {
 			t.Errorf("%s: %v", c.alg, err)
 		}
 	}
 }
 
-func TestRunAlgorithmErrors(t *testing.T) {
+func TestSolveErrors(t *testing.T) {
 	in := workload.General(1, workload.Config{N: 6, G: 2, MaxTime: 50, MaxLen: 20})
-	if _, _, err := runAlgorithm("bogus", in, -1); err == nil {
+	_, err := solve("bogus", in, -1, false)
+	if err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if _, _, err := runAlgorithm("throughput", in, -1); err == nil {
+	if !strings.Contains(err.Error(), "first-fit") || !strings.Contains(err.Error(), "greedy-throughput") {
+		t.Errorf("error does not list the registry: %v", err)
+	}
+	if _, err := solve("throughput", in, -1, false); err == nil {
 		t.Error("throughput without budget accepted")
 	}
-	if _, _, err := runAlgorithm("matching", in, -1); err == nil {
+	if _, err := solve("matching", in, -1, false); err == nil {
 		t.Error("matching on non-clique accepted")
+	}
+}
+
+func TestSolveLocalSearch(t *testing.T) {
+	in := workload.General(3, workload.Config{N: 20, G: 3, MaxTime: 150, MaxLen: 50})
+	plain, err := solve("auto", in, -1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := solve("auto", in, -1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Cost > plain.Cost {
+		t.Errorf("-improve worsened cost: %d > %d", improved.Cost, plain.Cost)
 	}
 }

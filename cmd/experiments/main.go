@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -only E5   # run a single experiment
-//	experiments -seeds 100 # more instances per configuration
+//	experiments              # run everything
+//	experiments -only E5     # run a single experiment
+//	experiments -seeds 100   # more instances per configuration
+//	experiments -algorithms  # print the algorithm registry and exit
 package main
 
 import (
@@ -13,13 +14,21 @@ import (
 	"fmt"
 	"os"
 
+	busytime "repro"
 	"repro/internal/experiments"
+	"repro/internal/stats"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E3)")
 	seeds := flag.Int("seeds", experiments.Seeds, "random instances per configuration")
+	listAlgs := flag.Bool("algorithms", false, "print the algorithm registry table and exit")
 	flag.Parse()
+
+	if *listAlgs {
+		fmt.Print(algorithmTable())
+		return
+	}
 
 	runners := map[string]func() experiments.Result{
 		"E1":  func() experiments.Result { return experiments.E1(*seeds) },
@@ -53,6 +62,27 @@ func main() {
 	}
 	fmt.Println(experiments.BoundTable(10).String())
 	fmt.Println("note: E12 (Lemma 3.3 conflicting-triple invariant) is verified by unit tests in internal/core and internal/exact.")
+}
+
+// algorithmTable renders the algorithm registry — the same data the
+// Solver dispatches on, so the printed table can never drift from the
+// implementation.
+func algorithmTable() string {
+	t := stats.Table{Header: []string{"kind", "algorithm", "classes", "guarantee", "reference"}}
+	for _, a := range busytime.Algorithms() {
+		classes := "all"
+		if len(a.Classes) > 0 {
+			classes = ""
+			for i, c := range a.Classes {
+				if i > 0 {
+					classes += "|"
+				}
+				classes += c.String()
+			}
+		}
+		t.Add(a.Kind.String(), a.Name, classes, a.Guarantee, a.Ref)
+	}
+	return t.String()
 }
 
 func min(a, b int) int {

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	busytime "repro"
 	"repro/internal/exact"
 	"repro/internal/igraph"
 	"repro/internal/job"
@@ -38,7 +39,7 @@ func main() {
 		maxTime      = flag.Int64("maxtime", 200, "workload horizon")
 		maxLen       = flag.Int64("maxlen", 50, "maximum job length")
 		longLen      = flag.Int64("longlen", 0, "long-job length for the adversarial family (default 100g)")
-		strategyName = flag.String("strategy", "all", "strategy: naive|firstfit|buckets|all")
+		strategyName = flag.String("strategy", "all", "strategy: all|"+strings.Join(busytime.AlgorithmNames(busytime.KindOnline), "|"))
 		inFile       = flag.String("in", "", "load instance JSON instead of generating")
 		outJSON      = flag.Bool("json", false, "emit JSON output")
 	)
@@ -89,19 +90,26 @@ func buildInstance(path, family string, seed, longLen int64, cfg workload.Config
 	return workload.ByName(family, seed, cfg)
 }
 
+// pickStrategies resolves -strategy through the algorithm registry:
+// "all" instantiates every registered online strategy (weakest first, so
+// the report table reads baseline-to-best), anything else is a name or
+// alias, with unknown names reporting the registered list.
 func pickStrategies(name string) ([]online.Strategy, error) {
-	switch name {
-	case "naive":
-		return []online.Strategy{online.Naive()}, nil
-	case "firstfit":
-		return []online.Strategy{online.FirstFit()}, nil
-	case "buckets":
-		return []online.Strategy{online.Buckets()}, nil
-	case "all":
-		return []online.Strategy{online.Naive(), online.FirstFit(), online.Buckets()}, nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", name)
+	if name == "all" {
+		var sts []online.Strategy
+		algs := busytime.Algorithms()
+		for i := len(algs) - 1; i >= 0; i-- {
+			if algs[i].Kind == busytime.KindOnline {
+				sts = append(sts, algs[i].NewStrategy())
+			}
+		}
+		return sts, nil
 	}
+	info, err := busytime.LookupAlgorithmKind(busytime.KindOnline, name)
+	if err != nil {
+		return nil, err
+	}
+	return []online.Strategy{info.NewStrategy()}, nil
 }
 
 func emitText(in job.Instance, reports []online.Report) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/job"
@@ -59,7 +60,11 @@ func TestBuildInstanceFromFile(t *testing.T) {
 }
 
 func TestPickStrategies(t *testing.T) {
-	for name, want := range map[string]int{"naive": 1, "firstfit": 1, "buckets": 1, "all": 3} {
+	for name, want := range map[string]int{
+		"naive": 1, "firstfit": 1, "buckets": 1, // historical aliases
+		"online-naive": 1, "online-firstfit": 1, "online-buckets": 1, // canonical
+		"all": 3,
+	} {
 		sts, err := pickStrategies(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -68,7 +73,11 @@ func TestPickStrategies(t *testing.T) {
 			t.Errorf("%s: %d strategies, want %d", name, len(sts), want)
 		}
 	}
-	if _, err := pickStrategies("bogus"); err == nil {
-		t.Error("unknown strategy accepted")
+	_, err := pickStrategies("bogus")
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if !strings.Contains(err.Error(), "online-firstfit") {
+		t.Errorf("error does not list registered strategies: %v", err)
 	}
 }

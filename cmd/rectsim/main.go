@@ -1,7 +1,7 @@
 // Command rectsim runs the two-dimensional (Section 3.4) busy-time
 // algorithms: random bounded-γ rectangle workloads or the Figure 3
-// adversarial family, solved with FirstFit2D, BucketFirstFit, or the
-// per-job baseline.
+// adversarial family, solved through the Solver with any registered 2-D
+// algorithm.
 //
 // Usage examples:
 //
@@ -11,11 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/core"
+	busytime "repro"
 	"repro/internal/job"
 	"repro/internal/rect"
 	"repro/internal/workload"
@@ -28,7 +30,7 @@ func main() {
 		g      = flag.Int("g", 3, "machine capacity")
 		gamma  = flag.Int64("gamma", 4, "max γ₁ (rects) / target γ₁ (fig3)")
 		seed   = flag.Int64("seed", 1, "random seed (rects workload)")
-		alg    = flag.String("alg", "all", "algorithm: ff2d|bucket|naive|all")
+		alg    = flag.String("alg", "all", "algorithm: all|"+strings.Join(busytime.AlgorithmNames(busytime.KindMinBusy2D), "|"))
 	)
 	flag.Parse()
 
@@ -42,35 +44,48 @@ func main() {
 	fmt.Printf("instance: n=%d g=%d gamma1=%.2f area=%d span=%d LB=%d\n",
 		len(in.Jobs), in.G, rect.Gamma(in.Rects(), 1), in.TotalArea(), in.SpanArea(), in.LowerBound())
 
-	runs := map[string]func() (core.RectSchedule, error){
-		"ff2d":   func() (core.RectSchedule, error) { return core.FirstFit2D(in), nil },
-		"bucket": func() (core.RectSchedule, error) { return core.BucketFirstFitAuto(in) },
-		"naive":  func() (core.RectSchedule, error) { return core.NaivePerJob2D(in), nil },
+	names, err := pickAlgorithms(*alg)
+	if err != nil {
+		fatal(err)
 	}
-	names := []string{*alg}
-	if *alg == "all" {
-		names = []string{"ff2d", "bucket", "naive"}
-	}
+	ctx := context.Background()
 	for _, name := range names {
-		run, ok := runs[name]
-		if !ok {
-			fatal(fmt.Errorf("unknown algorithm %q", name))
-		}
-		s, err := run()
+		res, err := busytime.NewSolver(busytime.WithAlgorithm(name)).
+			Solve(ctx, busytime.Request{Rect: &in})
 		if err != nil {
 			fatal(err)
 		}
-		if err := s.Validate(); err != nil {
-			fatal(fmt.Errorf("%s produced an invalid schedule: %v", name, err))
+		if err := res.Certificate(); err != nil {
+			fatal(fmt.Errorf("%s produced an uncertifiable schedule: %v", res.Algorithm, err))
 		}
-		fmt.Printf("%-7s cost=%d machines=%d cost/LB=%.3f\n",
-			name, s.Cost(), s.Machines(), float64(s.Cost())/float64(in.LowerBound()))
+		fmt.Printf("%-16s cost=%d machines=%d cost/LB=%.3f\n",
+			res.Algorithm, res.Cost, res.Machines, res.RatioVsBound)
 	}
 	if *family == "fig3" {
 		predicted := workload.Figure3FirstFitCost(*g, *gamma, 1000, 1)
 		fmt.Printf("fig3: Lemma 3.5 predicts FirstFit2D cost %d (opt UB %d)\n",
 			predicted, workload.Figure3OptUpperBound(*g, *gamma, 1000, 1))
 	}
+}
+
+// pickAlgorithms resolves -alg through the registry: "all" runs every
+// registered 2-D algorithm strongest-first; unknown names report the
+// registered list.
+func pickAlgorithms(alg string) ([]string, error) {
+	if alg == "all" {
+		var names []string
+		for _, a := range busytime.Algorithms() {
+			if a.Kind == busytime.KindMinBusy2D {
+				names = append(names, a.Name)
+			}
+		}
+		return names, nil
+	}
+	info, err := busytime.LookupAlgorithmKind(busytime.KindMinBusy2D, alg)
+	if err != nil {
+		return nil, err
+	}
+	return []string{info.Name}, nil
 }
 
 func buildInstance(family string, n, g int, gamma, seed int64) (job.RectInstance, error) {

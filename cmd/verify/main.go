@@ -1,6 +1,8 @@
-// Command verify validates a schedule against its instance: capacity
-// feasibility, the Observation 2.1 cost bounds, and (for small instances)
-// the exact optimality gap. It consumes the JSON emitted by
+// Command verify validates a schedule against its instance through the
+// Solver API's Result.Certificate: schedule validity (capacity g
+// respected at every time), agreement of the reported statistics with
+// the schedule, and the Observation 2.1 cost bounds — plus, for small
+// instances, the exact optimality gap. It consumes the JSON emitted by
 // `busysim -json`.
 //
 // Usage:
@@ -16,9 +18,8 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/core"
+	busytime "repro"
 	"repro/internal/exact"
-	"repro/internal/igraph"
 	"repro/internal/job"
 )
 
@@ -44,25 +45,24 @@ func main() {
 	if err := doc.Instance.Validate(); err != nil {
 		fatal(err)
 	}
-	s := core.Schedule{Instance: doc.Instance, Machine: doc.Machine}
-	if err := s.Validate(); err != nil {
+	res := busytime.ResultOf(doc.Algorithm, busytime.Schedule{Instance: doc.Instance, Machine: doc.Machine})
+
+	fmt.Printf("schedule: algorithm=%s class=%s n=%d g=%d\n",
+		res.Algorithm, res.Class, res.N, doc.Instance.G)
+	if err := res.Certificate(); err != nil {
+		fmt.Printf("valid: NO\n")
 		fatal(fmt.Errorf("INVALID schedule: %v", err))
 	}
-
-	bounds := core.BoundsOf(doc.Instance)
-	cost := s.Cost()
-	fmt.Printf("schedule: algorithm=%s class=%s n=%d g=%d\n",
-		doc.Algorithm, igraph.Classify(doc.Instance.Jobs), len(doc.Instance.Jobs), doc.Instance.G)
-	fmt.Printf("valid: yes\n")
+	fmt.Printf("valid: yes (certificate passed)\n")
 	fmt.Printf("cost=%d machines=%d scheduled=%d/%d\n",
-		cost, s.Machines(), s.Throughput(), len(doc.Instance.Jobs))
-	fmt.Printf("bounds: lower=%d length=%d within=%v\n",
-		bounds.Lower(), bounds.Length, bounds.Contains(cost) || s.Throughput() < len(doc.Instance.Jobs))
+		res.Cost, res.Machines, res.Scheduled, res.N)
+	fmt.Printf("bounds: lower=%d length=%d ratio-vs-LB=%.4f\n",
+		res.LowerBound, doc.Instance.TotalLen(), res.RatioVsBound)
 
-	if s.Throughput() == len(doc.Instance.Jobs) && len(doc.Instance.Jobs) <= exact.MaxN {
+	if res.Scheduled == res.N && res.N <= exact.MaxN {
 		opt, err := exact.MinBusyCost(doc.Instance)
 		if err == nil {
-			fmt.Printf("exact optimum=%d ratio=%.4f\n", opt, float64(cost)/float64(opt))
+			fmt.Printf("exact optimum=%d ratio=%.4f\n", opt, float64(res.Cost)/float64(opt))
 		}
 	}
 }

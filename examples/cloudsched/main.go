@@ -4,15 +4,18 @@
 //
 // Part 1 (cost minimization): a batch of tasks with fixed time windows is
 // packed onto machines to minimize the total billed machine-hours,
-// comparing the library's dispatcher against naive provisioning.
+// comparing the Solver's dispatcher against naive provisioning.
 //
 // Part 2 (budgeted throughput): given a fixed machine-hour budget, the
 // scheduler maximizes how many tasks run, sweeping the budget to show the
-// throughput/cost trade-off curve.
+// throughput/cost trade-off curve. One Solver with a default budget is
+// reused; per-request budgets override it.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	busytime "repro"
 )
@@ -22,24 +25,39 @@ func main() {
 	tasks := busytime.GenerateCloud(2024, busytime.WorkloadConfig{
 		N: 60, G: g, MaxTime: 480, MaxLen: 90, // an 8-hour day in minutes
 	})
+	ctx := context.Background()
 
 	fmt.Println("== part 1: minimize billed machine-minutes ==")
-	naive := busytime.NaivePerJob(tasks)
-	packed, algorithm := busytime.MinBusy(tasks)
-	fmt.Printf("tasks: %d, VM capacity: %d\n", len(tasks.Jobs), g)
+	naive, err := busytime.NewSolver(busytime.WithAlgorithm("naive-per-job")).
+		Solve(ctx, busytime.Request{Instance: tasks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	packed, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: tasks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tasks: %d, VM capacity: %d\n", packed.N, g)
 	fmt.Printf("one-VM-per-task billing: %d machine-minutes on %d VMs\n",
-		naive.Cost(), naive.Machines())
+		naive.Cost, naive.Machines)
 	fmt.Printf("packed via %s:          %d machine-minutes on %d VMs (%.1f%% saved)\n",
-		algorithm, packed.Cost(), packed.Machines(),
-		100*float64(naive.Cost()-packed.Cost())/float64(naive.Cost()))
-	fmt.Printf("theoretical lower bound: %d machine-minutes\n", tasks.LowerBound())
+		packed.Algorithm, packed.Cost, packed.Machines,
+		100*float64(naive.Cost-packed.Cost)/float64(naive.Cost))
+	fmt.Printf("theoretical lower bound: %d machine-minutes (ratio %.3f, solved in %v)\n",
+		packed.LowerBound, packed.RatioVsBound, packed.Elapsed.Round(1000))
 
 	fmt.Println("\n== part 2: budgeted throughput ==")
 	fmt.Println("budget(min)  tasks-run  cost-used")
-	full := packed.Cost()
+	solver := busytime.NewSolver() // reused across the sweep
+	full := packed.Cost
 	for _, frac := range []int64{10, 25, 50, 75, 100} {
 		budget := full * frac / 100
-		s, _ := busytime.MaxThroughput(tasks, budget)
-		fmt.Printf("%11d  %9d  %9d\n", budget, s.Throughput(), s.Cost())
+		res, err := solver.Solve(ctx, busytime.Request{
+			Instance: tasks, Kind: busytime.KindMaxThroughput, Budget: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%11d  %9d  %9d\n", budget, res.Scheduled, res.Cost)
 	}
 }

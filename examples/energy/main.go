@@ -3,15 +3,17 @@
 // cluster minimizes the energy bill. The example sweeps the machine
 // capacity g to show how denser consolidation (larger g) reduces energy,
 // approaching the span lower bound, and cross-checks small instances
-// against the exact oracle.
+// against the exact oracle via WithExactThreshold.
 //
 // It also exercises the two-dimensional variant: nightly batch jobs that
 // run for a contiguous range of days in a contiguous daily time window
-// (Section 3.4), scheduled with BucketFirstFit.
+// (Section 3.4), scheduled through the 2-D Solver kind.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	busytime "repro"
 	"repro/internal/core"
@@ -20,43 +22,59 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	solver := busytime.NewSolver()
+
 	fmt.Println("== consolidation sweep: energy vs capacity ==")
 	fmt.Println("g   energy  machines  lower-bound  algorithm")
 	for _, g := range []int{1, 2, 3, 4, 6, 8} {
 		jobs := busytime.GenerateGeneral(11, busytime.WorkloadConfig{
 			N: 80, G: g, MaxTime: 600, MaxLen: 120,
 		})
-		s, algorithm := busytime.MinBusy(jobs)
+		res, err := solver.Solve(ctx, busytime.Request{Instance: jobs})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-3d %6d  %8d  %11d  %s\n",
-			g, s.Cost(), s.Machines(), jobs.LowerBound(), algorithm)
+			g, res.Cost, res.Machines, res.LowerBound, res.Algorithm)
 	}
 
 	fmt.Println("\n== oracle check on a small instance ==")
 	small := busytime.GenerateGeneral(3, busytime.WorkloadConfig{
 		N: 12, G: 3, MaxTime: 100, MaxLen: 40,
 	})
-	heuristic, algorithm := busytime.MinBusy(small)
-	opt, err := busytime.ExactMinBusy(small)
+	heuristic, err := solver.Solve(ctx, busytime.Request{Instance: small})
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
-	fmt.Printf("heuristic (%s): %d, exact optimum: %d, ratio %.3f (guarantee: ≤ %d)\n",
-		algorithm, heuristic.Cost(), opt.Cost(),
-		float64(heuristic.Cost())/float64(opt.Cost()), small.G)
+	// WithExactThreshold routes instances this small to the subset-DP
+	// oracle, so the same Solve call returns the true optimum.
+	opt, err := busytime.NewSolver(busytime.WithExactThreshold(12)).
+		Solve(ctx, busytime.Request{Instance: small})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("heuristic (%s): %d, exact optimum (%s): %d, ratio %.3f (guarantee: ≤ %d)\n",
+		heuristic.Algorithm, heuristic.Cost, opt.Algorithm, opt.Cost,
+		float64(heuristic.Cost)/float64(opt.Cost), small.G)
 
 	fmt.Println("\n== 2-D periodic batch jobs (day × hour rectangles) ==")
 	batch := busytime.GenerateBoundedGammaRects(5, busytime.WorkloadConfig{
 		N: 50, G: 4, MaxTime: 200, MaxLen: 60,
 	}, 4)
-	ff := busytime.FirstFit2D(batch)
-	bucketed, err := busytime.BucketFirstFitAuto(batch)
+	ff, err := busytime.NewSolver(busytime.WithAlgorithm("first-fit-2d")).
+		Solve(ctx, busytime.Request{Rect: &batch})
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
+	}
+	bucketed, err := solver.Solve(ctx, busytime.Request{Rect: &batch})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("jobs: %d, capacity: %d\n", len(batch.Jobs), batch.G)
-	fmt.Printf("FirstFit2D energy:      %d (machines %d)\n", ff.Cost(), ff.Machines())
-	fmt.Printf("BucketFirstFit energy:  %d (machines %d)\n", bucketed.Cost(), bucketed.Machines())
-	fmt.Printf("area lower bound:       %d\n", batch.LowerBound())
+	fmt.Printf("FirstFit2D energy:      %d (machines %d)\n", ff.Cost, ff.Machines)
+	fmt.Printf("BucketFirstFit energy:  %d (machines %d)\n", bucketed.Cost, bucketed.Machines)
+	fmt.Printf("area lower bound:       %d\n", bucketed.LowerBound)
 
 	// Section 5 future-work extensions, implemented in internal/power and
 	// internal/dvs.
@@ -64,17 +82,23 @@ func main() {
 	jobs := busytime.GenerateGeneral(11, busytime.WorkloadConfig{
 		N: 80, G: 4, MaxTime: 600, MaxLen: 120,
 	})
-	sched, _ := busytime.MinBusy(jobs)
+	sched, err := solver.Solve(ctx, busytime.Request{Instance: jobs})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("wake-cost  busy  idle-retained  wakes  total-energy")
 	for _, wake := range []int64{0, 5, 20, 80} {
-		b := power.Analyze(sched, wake)
+		b := power.Analyze(sched.Schedule, wake)
 		fmt.Printf("%9d  %4d  %13d  %5d  %12d\n", wake, b.Busy, b.Idle, b.Wakes, b.Energy)
 	}
 
 	fmt.Println("\n== speed scaling (Section 5: DVS, power ∝ σ^3) ==")
 	solve := func(in busytime.Instance) core.Schedule {
-		s, _ := busytime.MinBusy(in)
-		return s
+		res, err := solver.Solve(ctx, busytime.Request{Instance: in})
+		if err != nil {
+			panic(err)
+		}
+		return res.Schedule
 	}
 	pts, err := dvs.Sweep(jobs, 3, []float64{1, 1.25, 1.5, 2, 3}, solve)
 	if err != nil {

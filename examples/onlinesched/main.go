@@ -1,9 +1,11 @@
-// Command onlinesched demonstrates the online scheduling facade: an
-// arrival stream replayed through the three strategies, the adversarial
-// Ω(g) family, and a flexible-window replay.
+// Command onlinesched demonstrates online scheduling through the Solver
+// API and the comparison facade: an arrival stream replayed through the
+// registered strategies, the adversarial Ω(g) family, and a
+// flexible-window replay.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,10 +13,27 @@ import (
 )
 
 func main() {
-	// A random arrival-ordered stream, replayed through each strategy.
+	ctx := context.Background()
+
+	// A random arrival-ordered stream. KindOnline replays it through a
+	// registered strategy; auto mode picks the strongest one.
 	in := busytime.GenerateArrivals(7, busytime.WorkloadConfig{N: 16, G: 3, MaxTime: 120, MaxLen: 30})
-	reports, err := busytime.CompareOnline(in,
-		busytime.OnlineNaive(), busytime.OnlineFirstFit(), busytime.OnlineBuckets())
+	res, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: in, Kind: busytime.KindOnline})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solver online run: %s cost=%d opened=%d peak=%d\n",
+		res.Algorithm, res.Cost, res.MachinesOpened, res.PeakOpen)
+
+	// CompareOnline measures every strategy against the offline
+	// algorithms and the exact oracle on the same stream.
+	var strategies []busytime.OnlineStrategy
+	for _, a := range busytime.Algorithms() {
+		if a.Kind == busytime.KindOnline {
+			strategies = append(strategies, a.NewStrategy())
+		}
+	}
+	reports, err := busytime.CompareOnline(in, strategies...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,12 +49,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	advReports, err := busytime.CompareOnline(adv, busytime.OnlineFirstFit())
+	advRes, err := busytime.NewSolver(busytime.WithAlgorithm("online-firstfit")).
+		Solve(ctx, busytime.Request{Instance: adv, Kind: busytime.KindOnline})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := busytime.ExactMinBusy(adv)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("adversarial g=3: firstfit=%d exact=%d ratio=%.3f\n",
-		advReports[0].Cost, advReports[0].ExactCost, advReports[0].VsExact())
+		advRes.Cost, opt.Cost(), float64(advRes.Cost)/float64(opt.Cost()))
 
 	// Flexible jobs: StartAligned tucks a unit job into the busy period a
 	// long job already pays for.
@@ -43,10 +67,10 @@ func main() {
 		busytime.NewFlexJob(0, 0, 100, 100),
 		busytime.NewFlexJob(1, 10, 200, 5),
 	}
-	res, err := busytime.ReplayFlexible(2, flex, busytime.StartAligned(), busytime.OnlineFirstFit())
+	fres, err := busytime.ReplayFlexible(2, flex, busytime.StartAligned(), busytime.OnlineFirstFit())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("flexible: %s cost=%d machines=%d (job 1 committed to %v)\n",
-		res.Strategy, res.Cost, res.MachinesOpened, res.Schedule.Instance.Jobs[1].Interval)
+		fres.Strategy, fres.Cost, fres.MachinesOpened, fres.Schedule.Instance.Jobs[1].Interval)
 }

@@ -5,12 +5,15 @@
 // proportional to the total length of fiber kept "busy" — exactly the
 // busy-time objective, with network position playing the role of time.
 //
-// The example grooms a hub-and-spoke request pattern, then demonstrates
-// the tree-topology extension of Section 5 on an access-network tree.
+// The example grooms a hub-and-spoke request pattern through the Solver,
+// then demonstrates the tree-topology extension of Section 5 on an
+// access-network tree.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	busytime "repro"
 	"repro/internal/topology/tree"
@@ -21,15 +24,24 @@ func main() {
 	requests := busytime.GenerateLightpaths(7, busytime.WorkloadConfig{
 		N: 40, G: groom, MaxTime: 1000, MaxLen: 200, // a 1000 km line network
 	})
+	ctx := context.Background()
 
 	fmt.Println("== line network (core busy-time model) ==")
-	naive := busytime.NaivePerJob(requests)
-	groomed, algorithm := busytime.MinBusy(requests)
-	fmt.Printf("lightpaths: %d, grooming factor: %d\n", len(requests.Jobs), groom)
-	fmt.Printf("ungroomed regenerator cost: %d km\n", naive.Cost())
+	naive, err := busytime.NewSolver(busytime.WithAlgorithm("naive-per-job")).
+		Solve(ctx, busytime.Request{Instance: requests})
+	if err != nil {
+		log.Fatal(err)
+	}
+	groomed, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: requests})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lightpaths: %d, grooming factor: %d\n", groomed.N, groom)
+	fmt.Printf("ungroomed regenerator cost: %d km\n", naive.Cost)
 	fmt.Printf("groomed via %s: %d km (%d wavelength groups)\n",
-		algorithm, groomed.Cost(), groomed.Machines())
-	fmt.Printf("fiber span lower bound: %d km\n", requests.Span())
+		groomed.Algorithm, groomed.Cost, groomed.Machines)
+	fmt.Printf("fiber span lower bound: %d km (achieved ratio %.3f)\n",
+		requests.Span(), groomed.RatioVsBound)
 
 	fmt.Println("\n== access tree (Section 5 extension) ==")
 	// A small access tree: node 0 is the central office; two feeder edges

@@ -1,9 +1,12 @@
-// Quickstart: schedule a handful of interval jobs on capacity-2 machines,
-// minimizing total busy time, then re-solve under a busy-time budget.
+// Quickstart: schedule a handful of interval jobs on capacity-2 machines
+// through the Solver API, minimizing total busy time, then re-solve under
+// a busy-time budget.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	busytime "repro"
 )
@@ -17,20 +20,35 @@ func main() {
 		[2]int64{8, 20},
 		[2]int64{12, 25},
 	)
+	ctx := context.Background()
+	solver := busytime.NewSolver()
 
 	// MinBusy: schedule everything, minimize total machine busy time.
-	s, algorithm := busytime.MinBusy(in)
-	fmt.Printf("class: %v\n", busytime.Classify(in.Jobs))
-	fmt.Printf("algorithm: %s\n", algorithm)
-	fmt.Printf("busy time: %d (lower bound %d, one-machine-per-job %d)\n",
-		s.Cost(), in.LowerBound(), in.TotalLen())
-	for machine, jobs := range s.MachineJobs() {
+	// The Result carries the schedule plus the algorithm used, the
+	// detected class, the lower bound, and a feasibility certificate.
+	res, err := solver.Solve(ctx, busytime.Request{Instance: in})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class: %v\n", res.Class)
+	fmt.Printf("algorithm: %s\n", res.Algorithm)
+	fmt.Printf("busy time: %d (lower bound %d, one-machine-per-job %d, ratio-vs-LB %.3f)\n",
+		res.Cost, res.LowerBound, in.TotalLen(), res.RatioVsBound)
+	for machine, jobs := range res.Schedule.MachineJobs() {
 		fmt.Printf("  machine %d runs jobs %v\n", machine, jobs)
 	}
+	if err := res.Certificate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("certificate: schedule is valid and within bounds")
 
 	// MaxThroughput: a busy-time budget of 20 — how many jobs fit?
-	budget := int64(20)
-	partial, algorithm := busytime.MaxThroughput(in, budget)
+	partial, err := solver.Solve(ctx, busytime.Request{
+		Instance: in, Kind: busytime.KindMaxThroughput, Budget: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("with budget %d: %d of %d jobs scheduled via %s (cost %d)\n",
-		budget, partial.Throughput(), len(in.Jobs), algorithm, partial.Cost())
+		partial.Budget, partial.Scheduled, partial.N, partial.Algorithm, partial.Cost)
 }

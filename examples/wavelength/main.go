@@ -4,14 +4,17 @@
 // connections on one fiber need different wavelengths. Fiber-length used
 // is the busy-time objective; W is the machine capacity g.
 //
-// The example assigns a connection set to fibers, then explores the
-// budgeted variant (how many connections fit on a fixed amount of lit
-// fiber) and the Section 5 ring-network extension where connections are
-// arcs of a metro ring occupied for a time window.
+// The example assigns a connection set to fibers with a local-search
+// Solver, then explores the budgeted variant (how many connections fit
+// on a fixed amount of lit fiber) and the Section 5 ring-network
+// extension where connections are arcs of a metro ring occupied for a
+// time window.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	busytime "repro"
 	"repro/internal/topology/ring"
@@ -19,25 +22,41 @@ import (
 
 func main() {
 	const wavelengths = 8 // W: wavelengths per fiber
+	ctx := context.Background()
 
 	fmt.Println("== line network: fiber minimization ==")
 	conns := busytime.GenerateLightpaths(21, busytime.WorkloadConfig{
 		N: 120, G: wavelengths, MaxTime: 2000, MaxLen: 400,
 	})
-	s, algorithm := busytime.MinBusy(conns)
-	fmt.Printf("connections: %d, W = %d\n", len(conns.Jobs), wavelengths)
+	plain, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: conns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("connections: %d, W = %d\n", plain.N, wavelengths)
 	fmt.Printf("lit fiber via %s: %d km on %d fibers (span bound %d km)\n",
-		algorithm, s.Cost(), s.Machines(), conns.Span())
-	improved := busytime.ImproveSchedule(s, 0)
-	fmt.Printf("after local search: %d km (saved %d)\n",
-		improved.Cost(), s.Cost()-improved.Cost())
+		plain.Algorithm, plain.Cost, plain.Machines, conns.Span())
+
+	// WithLocalSearch hill-climbs the schedule after dispatch.
+	improved, err := busytime.NewSolver(busytime.WithLocalSearch(0)).
+		Solve(ctx, busytime.Request{Instance: conns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after local search (%s): %d km (saved %d)\n",
+		improved.Algorithm, improved.Cost, plain.Cost-improved.Cost)
 
 	fmt.Println("\n== budgeted admission: connections per lit-fiber budget ==")
 	fmt.Println("budget(km)  admitted")
+	solver := busytime.NewSolver()
 	for _, frac := range []int64{25, 50, 75, 100} {
-		budget := improved.Cost() * frac / 100
-		p, _ := busytime.MaxThroughput(conns, budget)
-		fmt.Printf("%10d  %8d\n", budget, p.Throughput())
+		budget := improved.Cost * frac / 100
+		res, err := solver.Solve(ctx, busytime.Request{
+			Instance: conns, Kind: busytime.KindMaxThroughput, Budget: budget,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d  %8d\n", budget, res.Scheduled)
 	}
 
 	fmt.Println("\n== metro ring (Section 5 extension) ==")

@@ -345,34 +345,12 @@ func FindBestConsecutive(in job.Instance) (Schedule, error) {
 func MinBusyAuto(in job.Instance) (Schedule, string) {
 	comps := igraph.SplitComponents(in)
 	if len(comps) > 1 {
-		s := NewSchedule(in)
-		posByID := map[int]int{}
-		for i, j := range in.Jobs {
-			posByID[j.ID] = i
+		subs := make([]Schedule, len(comps))
+		names := make([]string, len(comps))
+		for i, comp := range comps {
+			subs[i], names[i] = MinBusyAuto(comp)
 		}
-		machineBase := 0
-		names := map[string]bool{}
-		for _, comp := range comps {
-			sub, name := MinBusyAuto(comp)
-			names[name] = true
-			maxM := -1
-			for k, m := range sub.Machine {
-				if m == Unscheduled {
-					continue
-				}
-				s.Assign(posByID[comp.Jobs[k].ID], machineBase+m)
-				if m > maxM {
-					maxM = m
-				}
-			}
-			machineBase += maxM + 1
-		}
-		parts := make([]string, 0, len(names))
-		for name := range names {
-			parts = append(parts, name)
-		}
-		sort.Strings(parts)
-		return s, "components:" + joinNames(parts)
+		return MergeComponents(in, comps, subs, names)
 	}
 
 	switch igraph.Classify(in.Jobs) {
@@ -401,6 +379,42 @@ func MinBusyAuto(in job.Instance) (Schedule, string) {
 		}
 	}
 	return FirstFit(in), "first-fit"
+}
+
+// MergeComponents merges per-component schedules produced on the pieces
+// of igraph.SplitComponents back onto the original instance: component
+// i's machines are renumbered onto a range disjoint from components
+// 0..i−1, and the combined run is reported as "components:" plus the
+// sorted distinct component algorithm names. subs[i] and names[i] must
+// be the schedule and algorithm name obtained on comps[i].
+func MergeComponents(in job.Instance, comps []job.Instance, subs []Schedule, names []string) (Schedule, string) {
+	s := NewSchedule(in)
+	posByID := make(map[int]int, len(in.Jobs))
+	for i, j := range in.Jobs {
+		posByID[j.ID] = i
+	}
+	machineBase := 0
+	distinct := map[string]bool{}
+	for ci, sub := range subs {
+		distinct[names[ci]] = true
+		maxM := -1
+		for k, m := range sub.Machine {
+			if m == Unscheduled {
+				continue
+			}
+			s.Assign(posByID[comps[ci].Jobs[k].ID], machineBase+m)
+			if m > maxM {
+				maxM = m
+			}
+		}
+		machineBase += maxM + 1
+	}
+	parts := make([]string, 0, len(distinct))
+	for name := range distinct {
+		parts = append(parts, name)
+	}
+	sort.Strings(parts)
+	return s, "components:" + joinNames(parts)
 }
 
 func joinNames(parts []string) string {

@@ -13,6 +13,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -27,10 +28,22 @@ import (
 // benchmarks room to stress the oracle.
 const MaxN = 18
 
+// ctxCheckInterval is how many DP iterations run between context checks:
+// frequent enough that cancellation lands within microseconds, rare
+// enough that the check is free.
+const ctxCheckInterval = 1 << 13
+
 // MinBusy computes an optimal MinBusy schedule by subset DP. It returns an
 // error (rather than panicking) for oversized instances so callers can fall
 // back to approximations.
 func MinBusy(in job.Instance) (core.Schedule, error) {
+	return MinBusyCtx(context.Background(), in)
+}
+
+// MinBusyCtx is MinBusy with cooperative cancellation: the subset DP
+// checks ctx at safe points and returns ctx.Err() once it fires, so long
+// oracle runs can be abandoned by a Solver deadline.
+func MinBusyCtx(ctx context.Context, in job.Instance) (core.Schedule, error) {
 	n := len(in.Jobs)
 	if n > MaxN {
 		return core.Schedule{}, fmt.Errorf("exact: %d jobs exceeds MaxN = %d", n, MaxN)
@@ -42,11 +55,17 @@ func MinBusy(in job.Instance) (core.Schedule, error) {
 		return core.NewSchedule(in), nil
 	}
 
-	spanOf, validQ := subsetTables(in)
+	spanOf, validQ, err := subsetTables(ctx, in)
+	if err != nil {
+		return core.Schedule{}, err
+	}
 	size := 1 << n
 	cost := make([]int64, size)
 	pick := make([]int, size)
 	for mask := 1; mask < size; mask++ {
+		if mask%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return core.Schedule{}, ctx.Err()
+		}
 		cost[mask] = math.MaxInt64
 		low := mask & -mask
 		rest := mask ^ low
@@ -94,7 +113,12 @@ func MinBusyCost(in job.Instance) (int64, error) {
 // ties toward lower cost. It runs the MinBusy subset DP once, then scans
 // all subsets.
 func MaxThroughput(in job.Instance, budget int64) (core.Schedule, error) {
-	return maxThroughput(in, budget, func(mask int) int64 {
+	return MaxThroughputCtx(context.Background(), in, budget)
+}
+
+// MaxThroughputCtx is MaxThroughput with cooperative cancellation.
+func MaxThroughputCtx(ctx context.Context, in job.Instance, budget int64) (core.Schedule, error) {
+	return maxThroughput(ctx, in, budget, func(mask int) int64 {
 		return int64(bits.OnesCount(uint(mask)))
 	})
 }
@@ -102,7 +126,13 @@ func MaxThroughput(in job.Instance, budget int64) (core.Schedule, error) {
 // MaxWeightThroughput is MaxThroughput with job weights (Section 5
 // extension): it maximizes total scheduled weight within the budget.
 func MaxWeightThroughput(in job.Instance, budget int64) (core.Schedule, error) {
-	return maxThroughput(in, budget, func(mask int) int64 {
+	return MaxWeightThroughputCtx(context.Background(), in, budget)
+}
+
+// MaxWeightThroughputCtx is MaxWeightThroughput with cooperative
+// cancellation.
+func MaxWeightThroughputCtx(ctx context.Context, in job.Instance, budget int64) (core.Schedule, error) {
+	return maxThroughput(ctx, in, budget, func(mask int) int64 {
 		var w int64
 		for m := mask; m != 0; m &= m - 1 {
 			w += in.Jobs[bits.TrailingZeros(uint(m))].Weight
@@ -111,7 +141,7 @@ func MaxWeightThroughput(in job.Instance, budget int64) (core.Schedule, error) {
 	})
 }
 
-func maxThroughput(in job.Instance, budget int64, value func(mask int) int64) (core.Schedule, error) {
+func maxThroughput(ctx context.Context, in job.Instance, budget int64, value func(mask int) int64) (core.Schedule, error) {
 	n := len(in.Jobs)
 	if n > MaxN {
 		return core.Schedule{}, fmt.Errorf("exact: %d jobs exceeds MaxN = %d", n, MaxN)
@@ -123,11 +153,17 @@ func maxThroughput(in job.Instance, budget int64, value func(mask int) int64) (c
 		return core.NewSchedule(in), nil
 	}
 
-	spanOf, validQ := subsetTables(in)
+	spanOf, validQ, err := subsetTables(ctx, in)
+	if err != nil {
+		return core.Schedule{}, err
+	}
 	size := 1 << n
 	cost := make([]int64, size)
 	pick := make([]int, size)
 	for mask := 1; mask < size; mask++ {
+		if mask%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return core.Schedule{}, ctx.Err()
+		}
 		cost[mask] = math.MaxInt64
 		low := mask & -mask
 		rest := mask ^ low
@@ -178,7 +214,7 @@ func maxThroughput(in job.Instance, budget int64, value func(mask int) int64) (c
 // Span composes incrementally: span(Q ∪ {j}) is recomputed from the union
 // decomposition. To stay O(2^n · n) we recompute from scratch per mask over
 // its members, which is fine for n ≤ MaxN.
-func subsetTables(in job.Instance) (spanOf []int64, validQ []bool) {
+func subsetTables(ctx context.Context, in job.Instance) (spanOf []int64, validQ []bool, err error) {
 	n := len(in.Jobs)
 	size := 1 << n
 	spanOf = make([]int64, size)
@@ -187,6 +223,9 @@ func subsetTables(in job.Instance) (spanOf []int64, validQ []bool) {
 	ivs := make([]interval.Interval, 0, n)
 	demands := make([]int64, 0, n)
 	for mask := 1; mask < size; mask++ {
+		if mask%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return nil, nil, ctx.Err()
+		}
 		ivs = ivs[:0]
 		demands = demands[:0]
 		for m := mask; m != 0; m &= m - 1 {
@@ -197,5 +236,5 @@ func subsetTables(in job.Instance) (spanOf []int64, validQ []bool) {
 		spanOf[mask] = interval.Span(ivs)
 		validQ[mask] = interval.WeightedMaxConcurrency(ivs, demands) <= int64(in.G)
 	}
-	return spanOf, validQ
+	return spanOf, validQ, nil
 }

@@ -1,6 +1,8 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -227,5 +229,43 @@ func TestPropertyThroughputConsistency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCtxCancellation checks that the oracles abandon their subset DPs
+// once the context fires: with n = 16 the tables hold 65536 masks, so
+// the periodic check is guaranteed to run, and a pre-canceled context
+// must surface context.Canceled without finishing the DP.
+func TestCtxCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	spans := make([][2]int64, 16)
+	for i := range spans {
+		s := r.Int63n(100)
+		spans[i] = [2]int64{s, s + 1 + r.Int63n(40)}
+	}
+	in := job.NewInstance(3, spans...)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinBusyCtx(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Errorf("MinBusyCtx: want context.Canceled, got %v", err)
+	}
+	if _, err := MaxThroughputCtx(ctx, in, 1000); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaxThroughputCtx: want context.Canceled, got %v", err)
+	}
+	if _, err := MaxWeightThroughputCtx(ctx, in, 1000); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaxWeightThroughputCtx: want context.Canceled, got %v", err)
+	}
+
+	// A live context solves normally through the same code path.
+	s, err := MinBusyCtx(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Throughput() != 16 {
+		t.Errorf("scheduled %d/16", s.Throughput())
 	}
 }

@@ -1,0 +1,171 @@
+package registry
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/igraph"
+	"repro/internal/job"
+	"repro/internal/online"
+)
+
+// The built-in algorithm catalogue. Canonical names match the names the
+// auto dispatchers have always reported; aliases cover the historical
+// CLI spellings so existing invocations keep working. Strengths encode
+// the dispatch preference of MinBusyAuto/ThroughputAuto: exact
+// class-specific algorithms above approximations above baselines.
+func init() {
+	minBusy := func(fn func(job.Instance) core.Schedule) func(context.Context, job.Instance) (core.Schedule, error) {
+		return func(_ context.Context, in job.Instance) (core.Schedule, error) { return fn(in), nil }
+	}
+	minBusyErr := func(fn func(job.Instance) (core.Schedule, error)) func(context.Context, job.Instance) (core.Schedule, error) {
+		return func(_ context.Context, in job.Instance) (core.Schedule, error) { return fn(in) }
+	}
+	tput := func(fn func(job.Instance, int64) (core.Schedule, error)) func(context.Context, job.Instance, int64) (core.Schedule, error) {
+		return func(_ context.Context, in job.Instance, budget int64) (core.Schedule, error) { return fn(in, budget) }
+	}
+
+	// MinBusy algorithms, weakest to strongest.
+	MustRegister(Algorithm{
+		Name: "naive-per-job", Aliases: []string{"naive"}, Kind: MinBusy,
+		Guarantee: "g", Ref: "Proposition 2.1", Strength: 0,
+		SolveMinBusy: minBusy(core.NaivePerJob),
+	})
+	MustRegister(Algorithm{
+		Name: "first-fit-fast", Aliases: []string{"firstfitfast"}, Kind: MinBusy,
+		Guarantee: "4 (2 on proper and clique)", Ref: "Flammini et al. [13], treap threads", Strength: 5,
+		SolveMinBusy: minBusy(core.FirstFitFast),
+	})
+	MustRegister(Algorithm{
+		Name: "first-fit", Aliases: []string{"firstfit", "ff"}, Kind: MinBusy,
+		Guarantee: "4 (2 on proper and clique)", Ref: "Flammini et al. [13]", Strength: 10,
+		SolveMinBusy: minBusy(core.FirstFit),
+	})
+	MustRegister(Algorithm{
+		Name: "best-cut", Aliases: []string{"bestcut"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.Proper},
+		Guarantee: "2 − 1/g", Ref: "Theorem 3.1, Algorithm 1", Strength: 20,
+		SolveMinBusy: minBusyErr(core.BestCut),
+	})
+	MustRegister(Algorithm{
+		Name: "clique-set-cover", Aliases: []string{"setcover"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.Clique},
+		Guarantee: "g·H_g/(H_g+g−1)", Ref: "Lemma 3.2", Strength: 30,
+		SolveMinBusy: minBusyErr(core.CliqueSetCover),
+	})
+	MustRegister(Algorithm{
+		Name: "clique-matching", Aliases: []string{"matching"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.Clique},
+		Guarantee: "exact (g = 2)", Exact: true, Ref: "Lemma 3.1", Strength: 40,
+		SolveMinBusy: minBusyErr(core.CliqueMatching),
+	})
+	MustRegister(Algorithm{
+		Name: "find-best-consecutive", Aliases: []string{"consecutive"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.ProperClique},
+		Guarantee: "exact", Exact: true, Ref: "Theorem 3.2, Algorithm 2", Strength: 50,
+		SolveMinBusy: minBusyErr(core.FindBestConsecutive),
+	})
+	MustRegister(Algorithm{
+		Name: "one-sided-greedy", Aliases: []string{"onesided"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.OneSidedClique},
+		Guarantee: "exact", Exact: true, Ref: "Observation 3.1", Strength: 60,
+		SolveMinBusy: minBusyErr(core.OneSidedGreedy),
+	})
+	MustRegister(Algorithm{
+		Name: "exact", Aliases: []string{"exact-min-busy"}, Kind: MinBusy,
+		Guarantee: "exact (n ≤ 18)", Exact: true, Oracle: true, Ref: "subset DP oracle",
+		SolveMinBusy: exact.MinBusyCtx,
+	})
+
+	// MaxThroughput algorithms.
+	MustRegister(Algorithm{
+		Name: "greedy-throughput", Aliases: []string{"greedy"}, Kind: MaxThroughput,
+		Guarantee: "heuristic", Ref: "general fallback (open question)", Strength: 10,
+		SolveThroughput: func(_ context.Context, in job.Instance, budget int64) (core.Schedule, error) {
+			return core.GreedyThroughput(in, budget), nil
+		},
+	})
+	MustRegister(Algorithm{
+		Name: "clique-throughput", Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.Clique},
+		Guarantee: "4", Ref: "Theorem 4.1, Algorithms 5–6", Strength: 30,
+		SolveThroughput: tput(core.CliqueThroughput),
+	})
+	MustRegister(Algorithm{
+		Name: "most-weight-consecutive", Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.ProperClique},
+		Guarantee: "exact (weighted)", Exact: true, Ref: "Section 5 extension", Strength: 45,
+		SolveThroughput: tput(core.MostWeightConsecutive),
+	})
+	MustRegister(Algorithm{
+		Name: "most-throughput-consecutive", Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.ProperClique},
+		Guarantee: "exact", Exact: true, Ref: "Theorem 4.2", Strength: 50,
+		SolveThroughput: tput(core.MostThroughputConsecutive),
+	})
+	MustRegister(Algorithm{
+		Name: "one-sided-weight-throughput", Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.OneSidedClique},
+		Guarantee: "exact (weighted)", Exact: true, Ref: "Section 5 extension", Strength: 55,
+		SolveThroughput: tput(core.OneSidedWeightThroughput),
+	})
+	MustRegister(Algorithm{
+		Name: "one-sided-throughput", Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.OneSidedClique},
+		Guarantee: "exact", Exact: true, Ref: "Proposition 4.1", Strength: 60,
+		SolveThroughput: tput(core.OneSidedThroughput),
+	})
+	MustRegister(Algorithm{
+		Name: "exact-throughput", Aliases: []string{"throughput-exact"}, Kind: MaxThroughput,
+		Guarantee: "exact (n ≤ 18)", Exact: true, Oracle: true, Ref: "subset DP oracle",
+		SolveThroughput: exact.MaxThroughputCtx,
+	})
+	MustRegister(Algorithm{
+		Name: "exact-weight-throughput", Aliases: []string{"weight-exact"}, Kind: MaxThroughput,
+		Guarantee: "exact weighted (n ≤ 18)", Exact: true, Oracle: true, Ref: "subset DP oracle",
+		SolveThroughput: exact.MaxWeightThroughputCtx,
+	})
+
+	// Two-dimensional MinBusy algorithms (Section 3.4).
+	MustRegister(Algorithm{
+		Name: "naive-2d", Aliases: []string{"naive", "naive-per-job-2d"}, Kind: MinBusy2D,
+		Guarantee: "g", Ref: "per-job baseline", Strength: 0,
+		SolveRect: func(_ context.Context, in job.RectInstance) (core.RectSchedule, error) {
+			return core.NaivePerJob2D(in), nil
+		},
+	})
+	MustRegister(Algorithm{
+		Name: "first-fit-2d", Aliases: []string{"ff2d"}, Kind: MinBusy2D,
+		Guarantee: "6γ₁+3 … 6γ₁+4", Ref: "Lemma 3.5, Algorithm 3", Strength: 10,
+		SolveRect: func(_ context.Context, in job.RectInstance) (core.RectSchedule, error) {
+			return core.FirstFit2D(in), nil
+		},
+	})
+	MustRegister(Algorithm{
+		Name: "bucket-first-fit", Aliases: []string{"bucket"}, Kind: MinBusy2D,
+		Guarantee: "min(g, O(log min(γ₁,γ₂)))", Ref: "Theorem 3.3, Algorithm 4 (β = 3.3)", Strength: 20,
+		SolveRect: func(_ context.Context, in job.RectInstance) (core.RectSchedule, error) {
+			return core.BucketFirstFitAuto(in)
+		},
+	})
+
+	// Online strategies. Strength orders the auto pick: FirstFit tracks
+	// the offline cost closest on stochastic arrivals, Buckets bounds the
+	// stretch of mixed-length machines, Naive is the g-competitive floor.
+	MustRegister(Algorithm{
+		Name: "online-naive", Aliases: []string{"naive"}, Kind: Online,
+		Guarantee: "g-competitive", Ref: "online Proposition 2.1 baseline", Strength: 0,
+		NewStrategy: online.Naive,
+	})
+	MustRegister(Algorithm{
+		Name: "online-buckets", Aliases: []string{"buckets"}, Kind: Online,
+		Guarantee: "empirical (doubling length classes)", Ref: "Albers–van der Heijden-style bucketing", Strength: 10,
+		NewStrategy: online.Buckets,
+	})
+	MustRegister(Algorithm{
+		Name: "online-firstfit", Aliases: []string{"firstfit"}, Kind: Online,
+		Guarantee: "empirical (Ω(g) adversarial lower bound)", Ref: "online FirstFit", Strength: 20,
+		NewStrategy: online.FirstFit,
+	})
+}

@@ -1,0 +1,468 @@
+package busytime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/igraph"
+	"repro/internal/localsearch"
+	"repro/internal/online"
+	"repro/internal/parallel"
+	"repro/internal/registry"
+	"repro/internal/stats"
+)
+
+// ProblemKind is the problem family a Request asks the Solver to solve.
+type ProblemKind = registry.Kind
+
+// Problem kinds.
+const (
+	// KindMinBusy schedules every job, minimizing total busy time. It is
+	// the zero value, so a Request{Instance: in} asks for MinBusy.
+	KindMinBusy = registry.MinBusy
+	// KindMaxThroughput schedules a maximum subset within Budget.
+	KindMaxThroughput = registry.MaxThroughput
+	// KindMinBusy2D solves the Section 3.4 rectangle variant of Rect.
+	KindMinBusy2D = registry.MinBusy2D
+	// KindOnline replays the instance through an online strategy in
+	// arrival order, committing placements irrevocably.
+	KindOnline = registry.Online
+)
+
+// AlgorithmInfo describes one registered algorithm: name, aliases,
+// problem kind, applicable instance classes and approximation guarantee.
+type AlgorithmInfo = registry.Algorithm
+
+// Algorithms lists every registered algorithm, ordered by kind then
+// strength — the single source of truth behind CLI usage strings and the
+// README table.
+func Algorithms() []AlgorithmInfo { return registry.List() }
+
+// LookupAlgorithm resolves a canonical algorithm name (or unambiguous
+// alias) across all problem kinds.
+func LookupAlgorithm(name string) (AlgorithmInfo, error) { return registry.Lookup(name) }
+
+// LookupAlgorithmKind resolves a name or alias within one problem kind.
+func LookupAlgorithmKind(kind ProblemKind, name string) (AlgorithmInfo, error) {
+	return registry.LookupKind(kind, name)
+}
+
+// AlgorithmFor returns the strongest registered polynomial algorithm for
+// the detected instance class — the Solver's first choice in auto mode.
+func AlgorithmFor(kind ProblemKind, class Class) (AlgorithmInfo, error) {
+	return registry.For(kind, class)
+}
+
+// AlgorithmNames returns the sorted canonical algorithm names of a kind.
+func AlgorithmNames(kind ProblemKind) []string { return registry.Names(kind) }
+
+// Request is one solve call: an instance plus the problem kind and its
+// parameters. The zero Kind is KindMinBusy; a non-nil Rect implies
+// KindMinBusy2D.
+type Request struct {
+	// Instance is the 1-D input for KindMinBusy, KindMaxThroughput and
+	// KindOnline.
+	Instance Instance
+	// Rect is the 2-D input for KindMinBusy2D.
+	Rect *RectInstance
+	// Kind selects the problem family (default KindMinBusy).
+	Kind ProblemKind
+	// Budget is the busy-time budget for KindMaxThroughput. When zero,
+	// the Solver-level WithBudget value applies.
+	Budget int64
+}
+
+// Result is a structured solve outcome: the schedule itself plus the
+// algorithm that produced it, the detected instance class, cost and
+// machine statistics, the Observation 2.1 lower bound with the achieved
+// ratio against it, and wall-clock timing.
+type Result struct {
+	// Schedule is the produced assignment (1-D kinds).
+	Schedule Schedule `json:"-"`
+	// Rect is the produced 2-D assignment (KindMinBusy2D only).
+	Rect *RectSchedule `json:"-"`
+	// Algorithm is the canonical name of the algorithm that ran; auto
+	// dispatch over disconnected instances reports "components:a+b".
+	Algorithm string `json:"algorithm"`
+	// Kind echoes the request's problem kind.
+	Kind ProblemKind `json:"kind"`
+	// Class is the detected class of the input instance.
+	Class Class `json:"class"`
+	// Cost is the schedule's total busy time (area for 2-D).
+	Cost int64 `json:"cost"`
+	// Scheduled and N count scheduled jobs and instance size.
+	Scheduled int `json:"scheduled"`
+	N         int `json:"n"`
+	// Machines counts distinct machines used.
+	Machines int `json:"machines"`
+	// MachinesOpened and PeakOpen are online-run statistics: machines
+	// ever opened and the maximum simultaneously open (zero offline).
+	MachinesOpened int `json:"machines_opened,omitempty"`
+	PeakOpen       int `json:"peak_open,omitempty"`
+	// LowerBound is the Observation 2.1 bound max(span, ⌈len/g⌉) (area
+	// form for 2-D), and RatioVsBound is Cost/LowerBound — an upper
+	// bound on the true approximation ratio.
+	LowerBound   int64   `json:"lower_bound"`
+	RatioVsBound float64 `json:"ratio_vs_bound"`
+	// Budget echoes the effective budget (KindMaxThroughput only).
+	Budget int64 `json:"budget,omitempty"`
+	// Elapsed is the wall-clock solve time.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// Certificate re-derives the quality claims of the Result from the
+// schedule itself and returns the first violation: schedule validity
+// (no machine ever exceeds capacity g), agreement of the reported cost
+// and throughput with the schedule, the Observation 2.1 cost bounds for
+// total schedules, and budget compliance for throughput runs. A nil
+// error certifies the Result is internally consistent and feasible.
+func (r Result) Certificate() error {
+	if r.Rect != nil {
+		if err := r.Rect.Validate(); err != nil {
+			return err
+		}
+		if c := r.Rect.Cost(); c != r.Cost {
+			return fmt.Errorf("busytime: reported cost %d, schedule costs %d", r.Cost, c)
+		}
+		if r.Cost < r.LowerBound {
+			return fmt.Errorf("busytime: cost %d below lower bound %d", r.Cost, r.LowerBound)
+		}
+		return nil
+	}
+	if err := r.Schedule.Validate(); err != nil {
+		return err
+	}
+	if c := r.Schedule.Cost(); c != r.Cost {
+		return fmt.Errorf("busytime: reported cost %d, schedule costs %d", r.Cost, c)
+	}
+	if got := r.Schedule.Throughput(); got != r.Scheduled {
+		return fmt.Errorf("busytime: reported %d scheduled jobs, schedule has %d", r.Scheduled, got)
+	}
+	in := r.Schedule.Instance
+	if r.Scheduled == len(in.Jobs) && len(in.Jobs) > 0 {
+		if b := core.BoundsOf(in); !b.Contains(r.Cost) {
+			return fmt.Errorf("busytime: cost %d outside Observation 2.1 bounds [%d, %d]", r.Cost, b.Lower(), b.Length)
+		}
+	}
+	if r.Kind == KindMaxThroughput && r.Cost > r.Budget {
+		return fmt.Errorf("busytime: cost %d exceeds budget %d", r.Cost, r.Budget)
+	}
+	return nil
+}
+
+// ResultOf wraps an existing 1-D schedule in a Result so callers holding
+// only a schedule (e.g. one parsed from JSON) can use Certificate and
+// the structured statistics without re-running a Solver.
+func ResultOf(algorithm string, s Schedule) Result {
+	in := s.Instance
+	res := Result{
+		Schedule:   s,
+		Algorithm:  algorithm,
+		Kind:       KindMinBusy,
+		Class:      igraph.Classify(in.Jobs),
+		N:          len(in.Jobs),
+		LowerBound: in.LowerBound(),
+	}
+	// A machine array that does not match the job list (e.g. truncated or
+	// padded JSON) cannot be charged for cost or throughput; leave the
+	// stats zero so Certificate reports the Validate error instead of
+	// panicking here.
+	if len(s.Machine) != len(in.Jobs) {
+		return res
+	}
+	res.Cost = s.Cost()
+	res.Scheduled = s.Throughput()
+	res.Machines = s.Machines()
+	res.RatioVsBound = stats.Ratio(res.Cost, res.LowerBound)
+	return res
+}
+
+// Solver executes Requests. The zero value auto-dispatches like
+// MinBusy/MaxThroughput always have; options pin a named algorithm,
+// set a default budget, enable local-search post-optimization, route
+// small instances to the exact oracle, or solve connected components in
+// parallel. A Solver is immutable after construction and safe for
+// concurrent use.
+type Solver struct {
+	algorithm      string
+	budget         int64
+	localSearch    bool
+	searchRounds   int
+	exactThreshold int
+	parallelism    int
+}
+
+// SolverOption configures a Solver at construction.
+type SolverOption func(*Solver)
+
+// NewSolver builds a Solver from options.
+func NewSolver(opts ...SolverOption) *Solver {
+	s := &Solver{parallelism: 1}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// WithAlgorithm pins a registered algorithm (canonical name or alias)
+// instead of auto dispatch. For KindOnline it names the strategy.
+func WithAlgorithm(name string) SolverOption {
+	return func(s *Solver) { s.algorithm = name }
+}
+
+// WithBudget sets the default busy-time budget applied to
+// KindMaxThroughput requests that carry no budget of their own.
+func WithBudget(budget int64) SolverOption {
+	return func(s *Solver) { s.budget = budget }
+}
+
+// WithLocalSearch enables hill-climbing post-optimization of 1-D
+// schedules (experiment E15); maxRounds ≤ 0 climbs to a local optimum.
+// The reported algorithm name gains a "+local-search" suffix.
+func WithLocalSearch(maxRounds int) SolverOption {
+	return func(s *Solver) { s.localSearch = true; s.searchRounds = maxRounds }
+}
+
+// WithExactThreshold routes auto-dispatched instances with at most n
+// jobs to the exponential exact oracle (capped at 18) instead of the
+// polynomial algorithms — the configuration experiments use to measure
+// optimality gaps inline.
+func WithExactThreshold(n int) SolverOption {
+	return func(s *Solver) {
+		if n > exact.MaxN {
+			n = exact.MaxN
+		}
+		s.exactThreshold = n
+	}
+}
+
+// WithParallelism solves the connected components of disconnected
+// MinBusy instances with up to workers goroutines (0 selects
+// GOMAXPROCS). The default is 1: fully sequential and deterministic.
+func WithParallelism(workers int) SolverOption {
+	return func(s *Solver) { s.parallelism = workers }
+}
+
+// Solve executes one Request. It is context-cancellable: long exact and
+// oracle runs check ctx at safe points, and auto dispatch stops between
+// fallback attempts once ctx fires.
+func (s *Solver) Solve(ctx context.Context, req Request) (Result, error) {
+	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	kind := req.Kind
+	if req.Rect != nil {
+		kind = KindMinBusy2D
+	}
+
+	if kind == KindMinBusy2D {
+		if req.Rect == nil {
+			return Result{}, fmt.Errorf("busytime: %s request needs a Rect instance", kind)
+		}
+		return s.solveRect(ctx, req, start)
+	}
+
+	in := req.Instance
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	class := igraph.Classify(in.Jobs)
+
+	var (
+		sch  Schedule
+		name string
+		err  error
+		res  Result
+	)
+	switch kind {
+	case KindMinBusy:
+		sch, name, err = s.solveMinBusy(ctx, in, class)
+	case KindMaxThroughput:
+		budget := req.Budget
+		if budget == 0 {
+			budget = s.budget
+		}
+		if budget < 0 {
+			return Result{}, fmt.Errorf("busytime: %s request needs a non-negative budget, got %d", kind, budget)
+		}
+		res.Budget = budget
+		sch, name, err = s.solveThroughput(ctx, in, budget, class)
+	case KindOnline:
+		var onlineRes online.Result
+		onlineRes, name, err = s.solveOnline(ctx, in)
+		sch = onlineRes.Schedule
+		res.MachinesOpened = onlineRes.MachinesOpened
+		res.PeakOpen = onlineRes.PeakOpen
+	default:
+		return Result{}, fmt.Errorf("busytime: unsupported problem kind %s", kind)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	if s.localSearch && (kind == KindMinBusy || kind == KindMaxThroughput) {
+		sch = localsearch.Improve(sch, s.searchRounds)
+		name += "+local-search"
+	}
+
+	cost := sch.Cost()
+	lb := in.LowerBound()
+	res.Schedule = sch
+	res.Algorithm = name
+	res.Kind = kind
+	res.Class = class
+	res.Cost = cost
+	res.Scheduled = sch.Throughput()
+	res.N = len(in.Jobs)
+	res.Machines = sch.Machines()
+	res.LowerBound = lb
+	res.RatioVsBound = stats.Ratio(cost, lb)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// solveMinBusy runs a pinned algorithm, the exact oracle below the
+// threshold, or registry-driven auto dispatch over connected components.
+func (s *Solver) solveMinBusy(ctx context.Context, in Instance, class Class) (Schedule, string, error) {
+	if s.algorithm != "" {
+		alg, err := registry.LookupKind(registry.MinBusy, s.algorithm)
+		if err != nil {
+			return Schedule{}, "", err
+		}
+		sch, err := alg.SolveMinBusy(ctx, in)
+		return sch, alg.Name, err
+	}
+	if s.exactThreshold > 0 && len(in.Jobs) <= s.exactThreshold {
+		sch, err := exact.MinBusyCtx(ctx, in)
+		return sch, "exact", err
+	}
+
+	comps := igraph.SplitComponents(in)
+	if len(comps) <= 1 {
+		return runMinBusyChain(ctx, in, class)
+	}
+
+	// Disconnected instances decompose (Section 2): solve each component
+	// independently — in parallel when configured — and merge on disjoint
+	// machine ranges.
+	type compResult struct {
+		sch  Schedule
+		name string
+		err  error
+	}
+	results := make([]compResult, len(comps))
+	parallel.ForEach(len(comps), s.parallelism, func(i int) {
+		sch, name, err := runMinBusyChain(ctx, comps[i], igraph.Classify(comps[i].Jobs))
+		results[i] = compResult{sch, name, err}
+	})
+
+	subs := make([]Schedule, len(comps))
+	names := make([]string, len(comps))
+	for i, r := range results {
+		if r.err != nil {
+			return Schedule{}, "", r.err
+		}
+		subs[i], names[i] = r.sch, r.name
+	}
+	merged, name := core.MergeComponents(in, comps, subs, names)
+	return merged, name, nil
+}
+
+// runMinBusyChain walks the registry's fallback chain for the
+// component's class and returns the first schedule produced — exactly
+// the dispatch order of core.MinBusyAuto, now derived from registered
+// strengths instead of a switch.
+func runMinBusyChain(ctx context.Context, in Instance, class Class) (Schedule, string, error) {
+	for _, alg := range registry.ForAll(registry.MinBusy, class) {
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, "", err
+		}
+		if sch, err := alg.SolveMinBusy(ctx, in); err == nil {
+			return sch, alg.Name, nil
+		}
+	}
+	return Schedule{}, "", fmt.Errorf("busytime: no registered min-busy algorithm accepted the instance (class %s)", class)
+}
+
+func (s *Solver) solveThroughput(ctx context.Context, in Instance, budget int64, class Class) (Schedule, string, error) {
+	if s.algorithm != "" {
+		alg, err := registry.LookupKind(registry.MaxThroughput, s.algorithm)
+		if err != nil {
+			return Schedule{}, "", err
+		}
+		sch, err := alg.SolveThroughput(ctx, in, budget)
+		return sch, alg.Name, err
+	}
+	if s.exactThreshold > 0 && len(in.Jobs) <= s.exactThreshold {
+		sch, err := exact.MaxThroughputCtx(ctx, in, budget)
+		return sch, "exact-throughput", err
+	}
+	for _, alg := range registry.ForAll(registry.MaxThroughput, class) {
+		if err := ctx.Err(); err != nil {
+			return Schedule{}, "", err
+		}
+		if sch, err := alg.SolveThroughput(ctx, in, budget); err == nil {
+			return sch, alg.Name, nil
+		}
+	}
+	return Schedule{}, "", fmt.Errorf("busytime: no registered max-throughput algorithm accepted the instance (class %s)", class)
+}
+
+func (s *Solver) solveOnline(ctx context.Context, in Instance) (online.Result, string, error) {
+	name := s.algorithm
+	if name == "" {
+		alg, err := registry.For(registry.Online, igraph.Classify(in.Jobs))
+		if err != nil {
+			return online.Result{}, "", err
+		}
+		name = alg.Name
+	}
+	alg, err := registry.LookupKind(registry.Online, name)
+	if err != nil {
+		return online.Result{}, "", err
+	}
+	if err := ctx.Err(); err != nil {
+		return online.Result{}, "", err
+	}
+	res, err := online.Replay(in, alg.NewStrategy())
+	return res, alg.Name, err
+}
+
+func (s *Solver) solveRect(ctx context.Context, req Request, start time.Time) (Result, error) {
+	in := *req.Rect
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	var alg registry.Algorithm
+	var err error
+	if s.algorithm != "" {
+		alg, err = registry.LookupKind(registry.MinBusy2D, s.algorithm)
+	} else {
+		alg, err = registry.For(registry.MinBusy2D, igraph.General)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	sch, err := alg.SolveRect(ctx, in)
+	if err != nil {
+		return Result{}, err
+	}
+	cost := sch.Cost()
+	lb := in.LowerBound()
+	return Result{
+		Rect:         &sch,
+		Algorithm:    alg.Name,
+		Kind:         KindMinBusy2D,
+		Cost:         cost,
+		Scheduled:    len(in.Jobs),
+		N:            len(in.Jobs),
+		Machines:     sch.Machines(),
+		LowerBound:   lb,
+		RatioVsBound: stats.Ratio(cost, lb),
+		Elapsed:      time.Since(start),
+	}, nil
+}

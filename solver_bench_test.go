@@ -1,0 +1,56 @@
+package busytime_test
+
+import (
+	"context"
+	"testing"
+
+	busytime "repro"
+)
+
+// BenchmarkSolverDispatch measures the full Solver path — registry
+// lookup, class dispatch, result assembly — against the direct facade
+// call it replaced. CI tracks this pair: the Solver's overhead must stay
+// within noise of the direct call, since dispatch runs once per request
+// while the algorithm dominates.
+func BenchmarkSolverDispatch(b *testing.B) {
+	in := busytime.GenerateProper(1, busytime.WorkloadConfig{N: 200, G: 4, MaxTime: 2000, MaxLen: 100})
+	solver := busytime.NewSolver()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(ctx, busytime.Request{Instance: in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cost == 0 {
+			b.Fatal("zero cost")
+		}
+	}
+}
+
+// BenchmarkSolverDispatchDirect is the baseline: the deprecated MinBusy
+// wrapper calling core dispatch with no registry or Result assembly.
+func BenchmarkSolverDispatchDirect(b *testing.B) {
+	in := busytime.GenerateProper(1, busytime.WorkloadConfig{N: 200, G: 4, MaxTime: 2000, MaxLen: 100})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := busytime.MinBusy(in)
+		if s.Cost() == 0 {
+			b.Fatal("zero cost")
+		}
+	}
+}
+
+// BenchmarkSolverDispatchSmall isolates the dispatch overhead itself on
+// a tiny instance where the algorithm's own work is negligible.
+func BenchmarkSolverDispatchSmall(b *testing.B) {
+	in := busytime.NewInstance(2, [2]int64{0, 10}, [2]int64{5, 15}, [2]int64{8, 20})
+	solver := busytime.NewSolver()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(ctx, busytime.Request{Instance: in}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
