@@ -1,17 +1,29 @@
-// Command verify validates a schedule against its instance through the
-// Solver API's Result.Certificate: schedule validity (capacity g
-// respected at every time), agreement of the reported statistics with
-// the schedule, and the Observation 2.1 cost bounds — plus, for small
-// instances, the exact optimality gap. It consumes the JSON emitted by
-// `busysim -json`.
+// Command verify validates schedules and algorithms.
+//
+// In its default mode it validates one schedule against its instance
+// through the Solver API's Result.Certificate: schedule validity
+// (capacity g respected at every time), agreement of the reported
+// statistics with the schedule, and the Observation 2.1 cost bounds —
+// plus, for small instances, the exact optimality gap. It consumes the
+// JSON emitted by `busysim -json`.
+//
+// With -conformance it instead runs the registry-driven conformance
+// harness (internal/conformance): every registered algorithm — or just
+// the one named by -alg — is exercised on seeded instances of its
+// declared classes with certificate, lower-bound, oracle-guarantee and
+// metamorphic checks; violations are printed as shrunk, reproducible Go
+// literals and make the command exit non-zero.
 //
 // Usage:
 //
 //	busysim -workload clique -n 12 -g 2 -alg auto -json > out.json
 //	verify -in out.json
+//	verify -conformance
+//	verify -conformance -alg clique-set-cover -seeds 10
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,8 +31,11 @@ import (
 	"os"
 
 	busytime "repro"
+	"repro/internal/conformance"
 	"repro/internal/exact"
 	"repro/internal/job"
+	"repro/internal/registry"
+	"repro/internal/stats"
 )
 
 // input mirrors the busysim -json output shape.
@@ -32,7 +47,15 @@ type input struct {
 
 func main() {
 	inFile := flag.String("in", "", "schedule JSON produced by busysim -json (default stdin)")
+	conf := flag.Bool("conformance", false, "run the registry-driven conformance harness instead of verifying a schedule")
+	algo := flag.String("alg", "", "restrict -conformance to one registered algorithm (canonical name or alias)")
+	seeds := flag.Int("seeds", 0, "instances per (algorithm, class, g) in -conformance mode (default harness setting)")
 	flag.Parse()
+
+	if *conf {
+		runConformance(*algo, *seeds)
+		return
+	}
 
 	data, err := readInput(*inFile)
 	if err != nil {
@@ -65,6 +88,52 @@ func main() {
 			fmt.Printf("exact optimum=%d ratio=%.4f\n", opt, float64(res.Cost)/float64(opt))
 		}
 	}
+}
+
+// runConformance drives the conformance harness and renders one row per
+// algorithm, exiting non-zero when any violation is found.
+func runConformance(algo string, seeds int) {
+	cfg := conformance.DefaultConfig()
+	if seeds > 0 {
+		cfg.Seeds = seeds
+	}
+	ctx := context.Background()
+
+	var outs []conformance.Outcome
+	if algo != "" {
+		alg, err := registry.Lookup(algo)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := conformance.CheckAlgorithm(ctx, alg, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		outs = append(outs, out)
+	} else {
+		var err error
+		outs, err = conformance.CheckAll(ctx, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	t := &stats.Table{Header: []string{"algorithm", "kind", "checked", "rejected", "violations"}}
+	violations := 0
+	for _, o := range outs {
+		t.Add(o.Algorithm, o.Kind.String(), o.Checked, o.Rejected, len(o.Violations))
+		violations += len(o.Violations)
+	}
+	fmt.Print(t.String())
+	for _, o := range outs {
+		for _, v := range o.Violations {
+			fmt.Printf("\nVIOLATION %s\n", v)
+		}
+	}
+	if violations > 0 {
+		fatal(fmt.Errorf("%d conformance violations", violations))
+	}
+	fmt.Printf("conformance: all %d algorithms clean\n", len(outs))
 }
 
 func readInput(path string) ([]byte, error) {

@@ -1,0 +1,116 @@
+// Fuzz targets feeding decoded byte streams through the identical
+// invariant suite the conformance harness runs (internal/conformance
+// CheckInstance): certificate feasibility, the Observation 2.1 lower
+// bound, the registered guarantee against the exact oracle, and the
+// metamorphic invariants. A crash or violation found here is therefore a
+// real algorithm bug, not a harness artifact, and the failing instance
+// prints as a reproducible Go literal.
+//
+// Run the smoke suite (seeds only) with `go test`, or fuzz with:
+//
+//	go test -fuzz FuzzMinBusy -fuzztime 30s -run '^$' .
+//	go test -fuzz FuzzOnlineReplay -fuzztime 30s -run '^$' .
+//
+// The committed corpus under testdata/fuzz seeds each target with the
+// shrunk shapes past violations reduce to (identical-job pairs for the
+// duplication law, nested containment for class dispatch, the blocker
+// stream that drives online FirstFit to its Ω(g) bound).
+package busytime_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/conformance"
+	"repro/internal/job"
+	"repro/internal/registry"
+)
+
+// fuzzMaxJobs caps decoded instances so the exponential oracles in the
+// invariant suite — which also run on the doubled duplication variant —
+// stay in the microsecond range per execution.
+const fuzzMaxJobs = 6
+
+// decodeInstance turns an arbitrary byte stream into a small valid
+// instance: byte 0 picks g in 1..4, then every 3-byte group encodes one
+// job (start in 0..127, length in 1..48, weight in 1..7). It returns
+// false when the stream encodes no jobs.
+func decodeInstance(data []byte) (job.Instance, bool) {
+	if len(data) < 4 {
+		return job.Instance{}, false
+	}
+	in := job.Instance{G: 1 + int(data[0]%4)}
+	for i := 1; i+2 < len(data) && len(in.Jobs) < fuzzMaxJobs; i += 3 {
+		start := int64(data[i] % 128)
+		length := 1 + int64(data[i+1]%48)
+		j := job.New(len(in.Jobs), start, start+length)
+		j.Weight = 1 + int64(data[i+2]%7)
+		in.Jobs = append(in.Jobs, j)
+	}
+	if len(in.Jobs) == 0 {
+		return job.Instance{}, false
+	}
+	return in, true
+}
+
+// fuzzSeeds are the shared seed streams: an identical-job pair (the
+// duplication-law minimum), nested containment (exercises class
+// dispatch and rejection paths), a miniature blocker-then-long stream
+// (the Ω(g) online shape), a single job, and a g-only stream.
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte("\x01\x00\x10\x01\x00\x10\x01"))
+	f.Add([]byte("\x02\x00\x30\x01\x08\x08\x01"))
+	f.Add([]byte("\x02\x00\x02\x01\x00\x02\x01\x01\x1e\x01"))
+	f.Add([]byte("\x00\x7f\x30\x07"))
+	f.Add([]byte("\x03\x01\x01"))
+}
+
+// runInvariantSuite feeds the instance through every registered
+// algorithm of the given kinds. Rejections (an algorithm declining an
+// out-of-scope instance) are expected; any violation fails with the
+// reproducible literal.
+func runInvariantSuite(t *testing.T, in job.Instance, kinds ...registry.Kind) {
+	t.Helper()
+	ctx := context.Background()
+	for _, alg := range registry.List() {
+		match := false
+		for _, k := range kinds {
+			match = match || alg.Kind == k
+		}
+		if !match {
+			continue
+		}
+		if err := conformance.CheckInstance(ctx, alg, in); err != nil && !errors.Is(err, conformance.ErrRejected) {
+			t.Fatalf("%s: %v\nreproduce with:\n%s", alg.Name, err, conformance.GoLiteral(in))
+		}
+	}
+}
+
+// FuzzMinBusy fuzzes every registered offline 1-D algorithm (MinBusy and
+// MaxThroughput kinds) through the conformance invariant suite.
+func FuzzMinBusy(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		runInvariantSuite(t, in, registry.MinBusy, registry.MaxThroughput)
+	})
+}
+
+// FuzzOnlineReplay fuzzes every registered online strategy: the decoded
+// stream is replayed in arrival order through Solver.Solve and checked
+// against the same invariants, including the online run statistics the
+// certificate verifies.
+func FuzzOnlineReplay(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		runInvariantSuite(t, in, registry.Online)
+	})
+}

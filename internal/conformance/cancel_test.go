@@ -1,0 +1,59 @@
+package conformance_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	busytime "repro"
+	"repro/internal/workload"
+)
+
+// promptness is the generous upper bound on how long Solve may keep
+// running after cancellation fires mid-instance. The uncancelled solves
+// below take multiple seconds, so a pass requires the ctx checks
+// threaded into the set-cover and matching inner loops to actually land.
+const promptness = 2 * time.Second
+
+// cancelMidSolve runs a pinned Solve on an instance big enough that the
+// algorithm is mid-flight when the context cancels 25ms in, then asserts
+// the call surfaces the cancellation promptly instead of running to
+// completion.
+func cancelMidSolve(t *testing.T, algorithm string, in busytime.Instance) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	timer := time.AfterFunc(25*time.Millisecond, cancel)
+	defer timer.Stop()
+
+	solver := busytime.NewSolver(busytime.WithAlgorithm(algorithm))
+	start := time.Now()
+	_, err := solver.Solve(ctx, busytime.Request{Instance: in})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatalf("%s: Solve completed despite mid-instance cancellation (took %v); enlarge the instance or check ctx threading", algorithm, elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("%s: Solve returned %v, want context.Canceled", algorithm, err)
+	}
+	if elapsed > promptness {
+		t.Errorf("%s: Solve took %v to notice cancellation, want < %v", algorithm, elapsed, promptness)
+	}
+}
+
+// TestSolveCancelsMidSetCover covers the ROADMAP cancellation-depth gap
+// for the greedy set cover: the ~4 million-subset enumeration and the
+// greedy cover loops must abandon the run once ctx fires.
+func TestSolveCancelsMidSetCover(t *testing.T) {
+	in := workload.Clique(1, workload.Config{N: 100, G: 4, MaxTime: 2000, MaxLen: 600})
+	cancelMidSolve(t, "clique-set-cover", in)
+}
+
+// TestSolveCancelsMidMatching covers the same gap for the O(V³) blossom
+// matching behind the g = 2 clique algorithm.
+func TestSolveCancelsMidMatching(t *testing.T) {
+	in := workload.Clique(2, workload.Config{N: 600, G: 2, MaxTime: 2000, MaxLen: 600})
+	cancelMidSolve(t, "clique-matching", in)
+}

@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"repro/internal/igraph"
+	"repro/internal/interval"
+	"repro/internal/job"
+	"repro/internal/rect"
+	"repro/internal/workload"
+)
+
+// genConfig maps the harness configuration onto one workload.Config.
+func genConfig(cfg Config, g int) workload.Config {
+	return workload.Config{N: cfg.N, G: g, MaxTime: cfg.MaxTime, MaxLen: cfg.MaxLen}
+}
+
+// GenerateClass returns a seeded random instance of the requested class
+// family, mapping each registry class onto the matching workload
+// generator. Classes are hereditary, so a generated instance may
+// classify as something narrower (a small random clique can happen to be
+// a proper clique); that still satisfies the requested requirement under
+// the Section 2 hierarchy.
+func GenerateClass(seed int64, class igraph.Class, cfg workload.Config) job.Instance {
+	switch class {
+	case igraph.Proper:
+		return workload.Proper(seed, cfg)
+	case igraph.Clique:
+		return workload.Clique(seed, cfg)
+	case igraph.ProperClique:
+		return workload.ProperClique(seed, cfg)
+	case igraph.OneSidedClique:
+		return workload.OneSided(seed, cfg, seed%2 == 0)
+	default:
+		return workload.General(seed, cfg)
+	}
+}
+
+// GenerateRect returns a seeded 2-D instance for the MinBusy2D kind.
+func GenerateRect(seed int64, cfg workload.Config) job.RectInstance {
+	return workload.BoundedGammaRects(seed, cfg, 4)
+}
+
+// withSeededWeights assigns deterministic non-uniform weights so the
+// weighted-throughput objective differs from plain job count.
+func withSeededWeights(in job.Instance, seed int64) job.Instance {
+	out := in.Clone()
+	for i := range out.Jobs {
+		out.Jobs[i].Weight = 1 + (int64(i)*13+seed*7)%5
+	}
+	return out
+}
+
+// Permute reverses the job list — a deterministic permutation that
+// changes every position and therefore every position-based tie-break.
+// IDs travel with their jobs, so the instance stays valid.
+func Permute(in job.Instance) job.Instance {
+	out := in.Clone()
+	for i, j := 0, len(out.Jobs)-1; i < j; i, j = i+1, j-1 {
+		out.Jobs[i], out.Jobs[j] = out.Jobs[j], out.Jobs[i]
+	}
+	return out
+}
+
+// Translate shifts every interval by delta. Cost is translation
+// invariant for every registered algorithm: all decisions depend on
+// lengths, overlaps and relative order only.
+func Translate(in job.Instance, delta int64) job.Instance {
+	out := in.Clone()
+	for i := range out.Jobs {
+		iv := out.Jobs[i].Interval
+		out.Jobs[i].Interval = interval.New(iv.Start+delta, iv.End+delta)
+	}
+	return out
+}
+
+// Duplicate returns the instance with every job doubled and the capacity
+// doubled, assigning fresh IDs to the copies. Superimposing two copies
+// of any schedule on the same machines is feasible at capacity 2g and
+// costs the same, which yields the metamorphic laws the harness checks.
+func Duplicate(in job.Instance) job.Instance {
+	n := len(in.Jobs)
+	out := job.Instance{G: 2 * in.G, Jobs: make([]job.Job, 0, 2*n)}
+	maxID := 0
+	for _, j := range in.Jobs {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	out.Jobs = append(out.Jobs, in.Jobs...)
+	for _, j := range in.Jobs {
+		copyJob := j
+		copyJob.ID = maxID + 1 + j.ID
+		out.Jobs = append(out.Jobs, copyJob)
+	}
+	return out
+}
+
+// PermuteRect reverses the 2-D job list.
+func PermuteRect(in job.RectInstance) job.RectInstance {
+	out := job.RectInstance{G: in.G, Jobs: append([]job.RectJob(nil), in.Jobs...)}
+	for i, j := 0, len(out.Jobs)-1; i < j; i, j = i+1, j-1 {
+		out.Jobs[i], out.Jobs[j] = out.Jobs[j], out.Jobs[i]
+	}
+	return out
+}
+
+// TranslateRect shifts every rectangle by delta in both dimensions.
+func TranslateRect(in job.RectInstance, delta int64) job.RectInstance {
+	out := job.RectInstance{G: in.G, Jobs: make([]job.RectJob, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		out.Jobs[i] = job.RectJob{ID: j.ID, Rect: rect.New(
+			j.Rect.D1.Start+delta, j.Rect.D1.End+delta,
+			j.Rect.D2.Start+delta, j.Rect.D2.End+delta,
+		)}
+	}
+	return out
+}
+
+// DuplicateRect doubles every rectangle job under doubled capacity.
+func DuplicateRect(in job.RectInstance) job.RectInstance {
+	out := job.RectInstance{G: 2 * in.G, Jobs: make([]job.RectJob, 0, 2*len(in.Jobs))}
+	maxID := 0
+	for _, j := range in.Jobs {
+		if j.ID > maxID {
+			maxID = j.ID
+		}
+	}
+	out.Jobs = append(out.Jobs, in.Jobs...)
+	for _, j := range in.Jobs {
+		copyJob := j
+		copyJob.ID = maxID + 1 + j.ID
+		out.Jobs = append(out.Jobs, copyJob)
+	}
+	return out
+}

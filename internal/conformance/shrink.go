@@ -1,0 +1,71 @@
+package conformance
+
+import (
+	"context"
+
+	"repro/internal/job"
+)
+
+// maxShrinkAttempts bounds the total number of candidate evaluations so
+// a pathological failing predicate cannot stall the harness. Each
+// evaluation re-runs the full invariant suite, so for the instance sizes
+// the harness generates the cap is never reached in practice.
+const maxShrinkAttempts = 256
+
+// Shrink minimizes a failing instance by greedy job removal: repeatedly
+// drop the first job whose removal keeps the instance failing, restarting
+// the scan after every successful removal, until no single-job removal
+// preserves the failure. The result is 1-minimal — removing any one job
+// makes the violation disappear — which is what makes emitted
+// counterexamples readable. failing must be a pure predicate; Shrink
+// stops early once ctx fires and returns the best instance found so far.
+func Shrink(ctx context.Context, in job.Instance, failing func(job.Instance) bool) job.Instance {
+	cur := in
+	attempts := 0
+	for {
+		removed := false
+		for i := 0; i < len(cur.Jobs) && len(cur.Jobs) > 1; i++ {
+			if ctx.Err() != nil || attempts >= maxShrinkAttempts {
+				return cur
+			}
+			attempts++
+			cand := job.Instance{G: cur.G, Jobs: make([]job.Job, 0, len(cur.Jobs)-1)}
+			cand.Jobs = append(cand.Jobs, cur.Jobs[:i]...)
+			cand.Jobs = append(cand.Jobs, cur.Jobs[i+1:]...)
+			if failing(cand) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}
+
+// ShrinkRect is Shrink for 2-D instances.
+func ShrinkRect(ctx context.Context, in job.RectInstance, failing func(job.RectInstance) bool) job.RectInstance {
+	cur := in
+	attempts := 0
+	for {
+		removed := false
+		for i := 0; i < len(cur.Jobs) && len(cur.Jobs) > 1; i++ {
+			if ctx.Err() != nil || attempts >= maxShrinkAttempts {
+				return cur
+			}
+			attempts++
+			cand := job.RectInstance{G: cur.G, Jobs: make([]job.RectJob, 0, len(cur.Jobs)-1)}
+			cand.Jobs = append(cand.Jobs, cur.Jobs[:i]...)
+			cand.Jobs = append(cand.Jobs, cur.Jobs[i+1:]...)
+			if failing(cand) {
+				cur = cand
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			return cur
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -87,6 +88,13 @@ func OneSidedGreedy(in job.Instance) (Schedule, error) {
 // all jobs overlap), the saving of a pair is its overlap length, so a
 // maximum-weight matching on the overlap graph minimizes total cost.
 func CliqueMatching(in job.Instance) (Schedule, error) {
+	return CliqueMatchingCtx(context.Background(), in)
+}
+
+// CliqueMatchingCtx is CliqueMatching with cooperative cancellation: both
+// the O(n²) overlap-graph construction and the O(n³) blossom search check
+// ctx and return ctx.Err() once it fires.
+func CliqueMatchingCtx(ctx context.Context, in job.Instance) (Schedule, error) {
 	if in.G != 2 {
 		return Schedule{}, fmt.Errorf("core: CliqueMatching requires g = 2, got g = %d", in.G)
 	}
@@ -96,13 +104,19 @@ func CliqueMatching(in job.Instance) (Schedule, error) {
 	n := len(in.Jobs)
 	var edges []matching.Edge
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return Schedule{}, ctx.Err()
+		}
 		for j := i + 1; j < n; j++ {
 			if w := in.Jobs[i].Interval.OverlapLen(in.Jobs[j].Interval); w > 0 {
 				edges = append(edges, matching.Edge{U: i, V: j, Weight: w})
 			}
 		}
 	}
-	mate := matching.Max(n, edges)
+	mate, err := matching.MaxCtx(ctx, n, edges)
+	if err != nil {
+		return Schedule{}, err
+	}
 	s := NewSchedule(in)
 	machine := 0
 	for i := 0; i < n; i++ {
@@ -141,6 +155,14 @@ const MaxCliqueSetCoverSubsets = 5_000_000
 // the g·H_g/(H_g+g−1) ratio; taking the minimum of the three schedules
 // inherits that combination (min(a,b) ≤ ρa + (1−ρ)b).
 func CliqueSetCover(in job.Instance) (Schedule, error) {
+	return CliqueSetCoverCtx(context.Background(), in)
+}
+
+// CliqueSetCoverCtx is CliqueSetCover with cooperative cancellation: the
+// subset enumeration and both greedy cover loops check ctx and return
+// ctx.Err() once it fires, so a Solver deadline can abandon a
+// multi-million-subset run mid-enumeration.
+func CliqueSetCoverCtx(ctx context.Context, in job.Instance) (Schedule, error) {
 	if !igraph.IsClique(in.Jobs) {
 		return Schedule{}, fmt.Errorf("core: CliqueSetCover requires a clique instance")
 	}
@@ -155,10 +177,17 @@ func CliqueSetCover(in job.Instance) (Schedule, error) {
 	best := NaivePerJob(in)
 	bestCost := best.Cost()
 
-	if s, err := CliqueSetCoverModified(in); err == nil && s.Cost() < bestCost {
-		best, bestCost = s, s.Cost()
+	// Enumerate the subset space once; both greedy variants reuse it.
+	modified, plain, err := cliqueSubsetSets(ctx, in)
+	if err != nil {
+		return Schedule{}, err
 	}
-	s, err := CliqueSetCoverPlain(in)
+	if s, err := coverFromModified(ctx, in, modified); err == nil && s.Cost() < bestCost {
+		best, bestCost = s, s.Cost()
+	} else if ctx.Err() != nil {
+		return Schedule{}, ctx.Err()
+	}
+	s, err := coverFromPlain(ctx, in, plain)
 	if err != nil {
 		return Schedule{}, err
 	}
@@ -169,10 +198,11 @@ func CliqueSetCover(in job.Instance) (Schedule, error) {
 }
 
 // cliqueSubsetSets enumerates all job subsets of size ≤ g with both weight
-// functions used by the set-cover algorithms.
-func cliqueSubsetSets(in job.Instance) (modified, plain []setcover.Set) {
+// functions used by the set-cover algorithms, abandoning the enumeration
+// with ctx.Err() once the context fires.
+func cliqueSubsetSets(ctx context.Context, in job.Instance) (modified, plain []setcover.Set, err error) {
 	g := int64(in.G)
-	setcover.EnumerateSubsets(len(in.Jobs), in.G, func(subset []int) {
+	err = setcover.EnumerateSubsetsCtx(ctx, len(in.Jobs), in.G, func(subset []int) {
 		var length int64
 		// All jobs share a common time, so the union of any subset is a
 		// single interval [min start, max end).
@@ -192,22 +222,41 @@ func cliqueSubsetSets(in job.Instance) (modified, plain []setcover.Set) {
 		modified = append(modified, setcover.Set{Elements: elems, Weight: g*span - length})
 		plain = append(plain, setcover.Set{Elements: elems, Weight: span})
 	})
-	return modified, plain
+	if err != nil {
+		return nil, nil, err
+	}
+	return modified, plain, nil
 }
 
 // CliqueSetCoverModified is the modified-weight variant alone (greedy
 // partition over weights g·span(Q)−len(Q)) — exposed for the E14 ablation.
 func CliqueSetCoverModified(in job.Instance) (Schedule, error) {
+	return cliqueSetCoverModifiedCtx(context.Background(), in)
+}
+
+func cliqueSetCoverModifiedCtx(ctx context.Context, in job.Instance) (Schedule, error) {
 	if !igraph.IsClique(in.Jobs) {
 		return Schedule{}, fmt.Errorf("core: CliqueSetCoverModified requires a clique instance")
 	}
-	n := len(in.Jobs)
-	if n == 0 {
+	if len(in.Jobs) == 0 {
 		return NewSchedule(in), nil
 	}
-	modified, _ := cliqueSubsetSets(in)
-	chosen, err := setcover.GreedyPartition(n, modified)
+	modified, _, err := cliqueSubsetSets(ctx, in)
 	if err != nil {
+		return Schedule{}, err
+	}
+	return coverFromModified(ctx, in, modified)
+}
+
+// coverFromModified runs the greedy-partition step over precomputed
+// modified-weight sets.
+func coverFromModified(ctx context.Context, in job.Instance, modified []setcover.Set) (Schedule, error) {
+	n := len(in.Jobs)
+	chosen, err := setcover.GreedyPartitionCtx(ctx, n, modified)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Schedule{}, ctx.Err()
+		}
 		return Schedule{}, fmt.Errorf("core: CliqueSetCoverModified: %v", err)
 	}
 	return scheduleFromGroups(in, setcover.Partition(n, modified, chosen)), nil
@@ -216,16 +265,32 @@ func CliqueSetCoverModified(in job.Instance) (Schedule, error) {
 // CliqueSetCoverPlain is the plain-span variant alone (classical greedy
 // cover, H_g guarantee) — exposed for the E14 ablation.
 func CliqueSetCoverPlain(in job.Instance) (Schedule, error) {
+	return cliqueSetCoverPlainCtx(context.Background(), in)
+}
+
+func cliqueSetCoverPlainCtx(ctx context.Context, in job.Instance) (Schedule, error) {
 	if !igraph.IsClique(in.Jobs) {
 		return Schedule{}, fmt.Errorf("core: CliqueSetCoverPlain requires a clique instance")
 	}
-	n := len(in.Jobs)
-	if n == 0 {
+	if len(in.Jobs) == 0 {
 		return NewSchedule(in), nil
 	}
-	_, plain := cliqueSubsetSets(in)
-	chosen, err := setcover.Greedy(n, plain)
+	_, plain, err := cliqueSubsetSets(ctx, in)
 	if err != nil {
+		return Schedule{}, err
+	}
+	return coverFromPlain(ctx, in, plain)
+}
+
+// coverFromPlain runs the classical greedy cover over precomputed
+// span-weight sets.
+func coverFromPlain(ctx context.Context, in job.Instance, plain []setcover.Set) (Schedule, error) {
+	n := len(in.Jobs)
+	chosen, err := setcover.GreedyCtx(ctx, n, plain)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Schedule{}, ctx.Err()
+		}
 		return Schedule{}, fmt.Errorf("core: CliqueSetCoverPlain: %v", err)
 	}
 	return scheduleFromGroups(in, setcover.Partition(n, plain, chosen)), nil

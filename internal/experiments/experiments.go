@@ -3,16 +3,25 @@
 // implemented algorithm against the exact oracle or against the paper's
 // closed-form predictions on seeded workloads.
 //
-// The experiment set is indexed E1…E13 as laid out in DESIGN.md §3. Both
+// The experiment set is indexed E1…E16 as laid out in DESIGN.md §3. Both
 // cmd/experiments and the root-level benchmarks drive these entry points,
 // so the published numbers are regenerable with either `go test -bench` or
 // the standalone binary.
+//
+// Experiments resolve their algorithms through internal/registry — the
+// same catalogue the Solver dispatches on — so a renamed or unregistered
+// algorithm fails loudly here instead of drifting, and the conformance
+// experiment (E16) walks registry.List() directly: a newly registered
+// algorithm shows up in EXPERIMENTS.md automatically.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strings"
 
+	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/demand"
 	"repro/internal/exact"
@@ -20,12 +29,50 @@ import (
 	"repro/internal/localsearch"
 	"repro/internal/parallel"
 	"repro/internal/rect"
+	"repro/internal/registry"
 	"repro/internal/setcover"
 	"repro/internal/stats"
 	"repro/internal/topology/ring"
 	"repro/internal/topology/tree"
 	"repro/internal/workload"
 )
+
+// minBusySolve resolves a registered MinBusy algorithm's solve hook by
+// canonical name. Experiments call algorithms through the registry so the
+// measured code path is exactly what the Solver dispatches.
+func minBusySolve(name string) func(job.Instance) (core.Schedule, error) {
+	alg, err := registry.LookupKind(registry.MinBusy, name)
+	if err != nil {
+		panic(err)
+	}
+	return func(in job.Instance) (core.Schedule, error) {
+		return alg.SolveMinBusy(context.Background(), in)
+	}
+}
+
+// mustMinBusy is minBusySolve for experiments that generate instances the
+// algorithm accepts by construction, panicking on rejection.
+func mustMinBusy(name string) func(job.Instance) core.Schedule {
+	solve := minBusySolve(name)
+	return func(in job.Instance) core.Schedule {
+		s, err := solve(in)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+}
+
+// throughputSolve resolves a registered MaxThroughput algorithm's hook.
+func throughputSolve(name string) func(job.Instance, int64) (core.Schedule, error) {
+	alg, err := registry.LookupKind(registry.MaxThroughput, name)
+	if err != nil {
+		panic(err)
+	}
+	return func(in job.Instance, budget int64) (core.Schedule, error) {
+		return alg.SolveThroughput(context.Background(), in, budget)
+	}
+}
 
 // Result is one experiment's rendered outcome.
 type Result struct {
@@ -58,10 +105,11 @@ func ratioStats(ratios []float64) (mean, max float64) {
 // with g = 2 (every measured ratio must be exactly 1).
 func E1(seeds int) Result {
 	t := &stats.Table{Header: []string{"n", "instances", "mean ratio", "max ratio"}}
+	cliqueMatching := minBusySolve("clique-matching")
 	for _, n := range []int{6, 10, 14} {
 		ratios := parallel.Map(seeds, 0, func(seed int) float64 {
 			in := workload.Clique(int64(seed), workload.Config{N: n, G: 2, MaxTime: 200, MaxLen: 60})
-			s, err := core.CliqueMatching(in)
+			s, err := cliqueMatching(in)
 			if err != nil {
 				panic(err)
 			}
@@ -85,12 +133,13 @@ func E1(seeds int) Result {
 // E2 measures Lemma 3.2: CliqueSetCover within g·H_g/(H_g+g−1) on cliques.
 func E2(seeds int) Result {
 	t := &stats.Table{Header: []string{"g", "bound", "mean ratio", "max ratio"}}
+	cliqueSetCover := minBusySolve("clique-set-cover")
 	for _, g := range []int{2, 3, 4} {
 		hg := setcover.Harmonic(g)
 		bound := float64(g) * hg / (hg + float64(g) - 1)
 		ratios := parallel.Map(seeds, 0, func(seed int) float64 {
 			in := workload.Clique(int64(seed), workload.Config{N: 10, G: g, MaxTime: 200, MaxLen: 60})
-			s, err := core.CliqueSetCover(in)
+			s, err := cliqueSetCover(in)
 			if err != nil {
 				panic(err)
 			}
@@ -115,11 +164,13 @@ func E2(seeds int) Result {
 // compares against the FirstFit baseline of [13] it improves upon.
 func E3(seeds int) Result {
 	t := &stats.Table{Header: []string{"g", "bound", "bestcut mean", "bestcut max", "firstfit mean"}}
+	bestCut := minBusySolve("best-cut")
+	firstFit := mustMinBusy("first-fit")
 	for _, g := range []int{2, 3, 4, 6} {
 		bound := 2 - 1/float64(g)
 		pairs := parallel.Map(seeds, 0, func(seed int) [2]float64 {
 			in := workload.Proper(int64(seed), workload.Config{N: 11, G: g, MaxTime: 200, MaxLen: 40})
-			s, err := core.BestCut(in)
+			s, err := bestCut(in)
 			if err != nil {
 				panic(err)
 			}
@@ -129,7 +180,7 @@ func E3(seeds int) Result {
 			}
 			return [2]float64{
 				stats.Ratio(s.Cost(), opt),
-				stats.Ratio(core.FirstFit(in).Cost(), opt),
+				stats.Ratio(firstFit(in).Cost(), opt),
 			}
 		})
 		var bc, ff []float64
@@ -153,10 +204,11 @@ func E3(seeds int) Result {
 // instances.
 func E4(seeds int) Result {
 	t := &stats.Table{Header: []string{"n", "g", "instances", "max ratio"}}
+	findBestConsecutive := minBusySolve("find-best-consecutive")
 	for _, cfg := range [][2]int{{8, 2}, {12, 3}, {16, 4}} {
 		ratios := parallel.Map(seeds, 0, func(seed int) float64 {
 			in := workload.ProperClique(int64(seed), workload.Config{N: cfg[0], G: cfg[1], MaxTime: 300, MaxLen: 50})
-			s, err := core.FindBestConsecutive(in)
+			s, err := findBestConsecutive(in)
 			if err != nil {
 				panic(err)
 			}
@@ -245,6 +297,7 @@ func E6(seeds int) Result {
 // sweep on clique instances.
 func E7(seeds int) Result {
 	t := &stats.Table{Header: []string{"g", "budget", "mean tput/opt", "min tput/opt", "bound"}}
+	cliqueThroughput := throughputSolve("clique-throughput")
 	for _, g := range []int{2, 3} {
 		for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
 			ratios := parallel.Map(seeds, 0, func(seed int) float64 {
@@ -254,7 +307,7 @@ func E7(seeds int) Result {
 					panic(err)
 				}
 				budget := int64(frac * float64(full))
-				s, err := core.CliqueThroughput(in, budget)
+				s, err := cliqueThroughput(in, budget)
 				if err != nil {
 					panic(err)
 				}
@@ -283,6 +336,8 @@ func E7(seeds int) Result {
 // cliques across budgets; the weighted extension is also checked.
 func E8(seeds int) Result {
 	t := &stats.Table{Header: []string{"variant", "instances x budgets", "min tput/opt"}}
+	mostThroughput := throughputSolve("most-throughput-consecutive")
+	mostWeight := throughputSolve("most-weight-consecutive")
 	worstU, worstW := 1.0, 1.0
 	count := 0
 	for seed := 0; seed < seeds; seed++ {
@@ -297,7 +352,7 @@ func E8(seeds int) Result {
 		for _, frac := range []float64{0.3, 0.6, 0.9} {
 			budget := int64(frac * float64(full))
 			count++
-			s, err := core.MostThroughputConsecutive(in, budget)
+			s, err := mostThroughput(in, budget)
 			if err != nil {
 				panic(err)
 			}
@@ -310,7 +365,7 @@ func E8(seeds int) Result {
 					worstU = r
 				}
 			}
-			ws, err := core.MostWeightConsecutive(in, budget)
+			ws, err := mostWeight(in, budget)
 			if err != nil {
 				panic(err)
 			}
@@ -344,8 +399,8 @@ func E9(seeds int) Result {
 		run  func(job.Instance) core.Schedule
 	}
 	algs := []alg{
-		{"naive-per-job", core.NaivePerJob},
-		{"first-fit", core.FirstFit},
+		{"naive-per-job", mustMinBusy("naive-per-job")},
+		{"first-fit", mustMinBusy("first-fit")},
 		{"auto", func(in job.Instance) core.Schedule { s, _ := core.MinBusyAuto(in); return s }},
 	}
 	for _, a := range algs {
@@ -377,6 +432,7 @@ func E9(seeds int) Result {
 // the MinBusy optimum, counting oracle calls (logarithmic in len(J)).
 func E10(seeds int) Result {
 	t := &stats.Table{Header: []string{"n", "exact match", "mean oracle calls"}}
+	mostThroughput := throughputSolve("most-throughput-consecutive")
 	for _, n := range []int{8, 12} {
 		matches := 0
 		var calls []float64
@@ -385,7 +441,7 @@ func E10(seeds int) Result {
 			nCalls := 0
 			solve := func(in job.Instance, budget int64) (core.Schedule, error) {
 				nCalls++
-				return core.MostThroughputConsecutive(in, budget)
+				return mostThroughput(in, budget)
 			}
 			s, err := core.MinBusyViaThroughput(in, solve)
 			if err != nil {
@@ -413,11 +469,13 @@ func E10(seeds int) Result {
 // E11 measures Observation 3.1 and Proposition 4.1 on one-sided cliques.
 func E11(seeds int) Result {
 	t := &stats.Table{Header: []string{"problem", "instances", "max ratio / min tput ratio"}}
+	oneSidedGreedy := minBusySolve("one-sided-greedy")
+	oneSidedThroughput := throughputSolve("one-sided-throughput")
 	worstMin, worstTput := 1.0, 1.0
 	for seed := 0; seed < seeds; seed++ {
 		for _, sharedStart := range []bool{true, false} {
 			in := workload.OneSided(int64(seed), workload.Config{N: 10, G: 3, MaxTime: 200, MaxLen: 50}, sharedStart)
-			s, err := core.OneSidedGreedy(in)
+			s, err := oneSidedGreedy(in)
 			if err != nil {
 				panic(err)
 			}
@@ -429,7 +487,7 @@ func E11(seeds int) Result {
 				worstMin = r
 			}
 			budget := opt / 2
-			ts, err := core.OneSidedThroughput(in, budget)
+			ts, err := oneSidedThroughput(in, budget)
 			if err != nil {
 				panic(err)
 			}
@@ -627,9 +685,9 @@ func E15(seeds int) Result {
 		run  func(job.Instance) core.Schedule
 	}
 	starters := []starter{
-		{"first-fit", core.FirstFit},
+		{"first-fit", mustMinBusy("first-fit")},
 		{"auto", func(in job.Instance) core.Schedule { s, _ := core.MinBusyAuto(in); return s }},
-		{"naive", core.NaivePerJob},
+		{"naive", mustMinBusy("naive-per-job")},
 	}
 	for _, st := range starters {
 		triples := parallel.Map(seeds, 0, func(seed int) [3]float64 {
@@ -666,6 +724,46 @@ func E15(seeds int) Result {
 		Title: "local-search post-optimization (beyond paper)",
 		Claim: "hill climbing never worsens and closes part of the optimality gap",
 		Table: t,
+	}
+}
+
+// E16 is the registry-driven conformance experiment (beyond paper): for
+// every registered algorithm — walked from registry.List(), so a new
+// registration appears here automatically — the internal/conformance
+// harness generates seeded instances of the algorithm's declared
+// classes, solves them through Solver.Solve, and checks certificates,
+// the Observation 2.1 lower bound, the registered guarantee against the
+// exact oracle, and the metamorphic invariants (permutation, time
+// translation, duplication under doubled capacity). Any violation is
+// shrunk to a minimal counterexample and reported in the notes as a
+// reproducible Go literal; the experiment panics on violations so a
+// regression can never be published silently.
+func E16(seeds int) Result {
+	cfg := conformance.DefaultConfig()
+	if seeds > 0 {
+		cfg.Seeds = seeds
+	}
+	outs, err := conformance.CheckAll(context.Background(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	t := &stats.Table{Header: []string{"algorithm", "kind", "checked", "rejected", "violations"}}
+	var notes []string
+	for _, o := range outs {
+		t.Add(o.Algorithm, o.Kind.String(), o.Checked, o.Rejected, len(o.Violations))
+		for _, v := range o.Violations {
+			notes = append(notes, v.String())
+		}
+	}
+	if len(notes) > 0 {
+		panic(fmt.Sprintf("E16: %d conformance violations:\n%s", len(notes), strings.Join(notes, "\n")))
+	}
+	return Result{
+		ID:    "E16",
+		Title: "registry-driven conformance harness (beyond paper)",
+		Claim: "every registered algorithm passes certificate, bound, guarantee and metamorphic checks on its declared classes",
+		Table: t,
+		Notes: []string{"instances per (algorithm, class, g): " + fmt.Sprint(cfg.Seeds)},
 	}
 }
 
@@ -736,7 +834,7 @@ func Gamma1(in job.RectInstance) float64 { return rect.Gamma(in.Rects(), 1) }
 func All() []Result {
 	return []Result{
 		E1(Seeds), E2(Seeds), E3(Seeds), E4(Seeds), E5(), E6(10),
-		E7(Seeds), E8(30), E9(Seeds), E10(30), E11(Seeds), E13(20), E14(30), E15(30),
+		E7(Seeds), E8(30), E9(Seeds), E10(30), E11(Seeds), E13(20), E14(30), E15(30), E16(3),
 	}
 }
 

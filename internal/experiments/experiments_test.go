@@ -156,6 +156,21 @@ func TestE15LocalSearchNeverWorsens(t *testing.T) {
 	}
 }
 
+func TestE16ConformanceClean(t *testing.T) {
+	// E16 panics when the conformance harness reports a violation, so a
+	// successful run with one row per registered algorithm and an all-zero
+	// violations column is the assertion.
+	r := E16(2)
+	if len(r.Table.Rows) == 0 {
+		t.Fatal("E16 produced no rows")
+	}
+	for _, row := range r.Table.Rows {
+		if row[4] != "0" {
+			t.Errorf("E16 reports violations: %v", row)
+		}
+	}
+}
+
 func TestBoundTableClaims(t *testing.T) {
 	// BoundTable panics internally when the paper's claims about the
 	// bound landscape fail; g up to 20 exercises both sides of the g=6
@@ -178,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full experiment suite in short mode")
 	}
 	rs := All()
-	if len(rs) != 14 {
+	if len(rs) != 15 {
 		t.Fatalf("All produced %d results", len(rs))
 	}
 	ids := map[string]bool{}

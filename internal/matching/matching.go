@@ -15,6 +15,14 @@
 // by the test suite to cross-check the blossom solver on small graphs.
 package matching
 
+import "context"
+
+// ctxCheckInterval is how many inner-loop steps (queue scans, dual
+// adjustments) run between context checks in the blossom solver:
+// frequent enough that cancellation lands within microseconds on
+// thousand-vertex graphs, rare enough that the check is free.
+const ctxCheckInterval = 1 << 12
+
 // Edge is an undirected weighted edge between distinct vertices U < V is
 // not required; self-loops are forbidden.
 type Edge struct {
@@ -28,6 +36,19 @@ type Edge struct {
 // matching and are ignored. Max panics on self-loops or out-of-range
 // vertices, which are programming errors.
 func Max(n int, edges []Edge) []int {
+	mate, err := MaxCtx(context.Background(), n, edges)
+	if err != nil {
+		// Background is never canceled; solve has no other error path.
+		panic("matching: " + err.Error())
+	}
+	return mate
+}
+
+// MaxCtx is Max with cooperative cancellation: the O(V³) primal-dual
+// stage loop checks ctx every ctxCheckInterval inner steps and returns
+// ctx.Err() once it fires, so a Solver deadline can abandon a large
+// matching mid-stage.
+func MaxCtx(ctx context.Context, n int, edges []Edge) ([]int, error) {
 	useful := make([]Edge, 0, len(edges))
 	for _, e := range edges {
 		if e.U == e.V {
@@ -45,10 +66,10 @@ func Max(n int, edges []Edge) []int {
 		for i := range mate {
 			mate[i] = -1
 		}
-		return mate
+		return mate, nil
 	}
 	s := newSolver(n, useful)
-	return s.solve()
+	return s.solve(ctx)
 }
 
 // Weight returns the total weight of the matching mate over edges. It is a
@@ -98,6 +119,18 @@ type solver struct {
 	dualvar          []int64
 	allowedge        []bool
 	queue            []int
+
+	ops int // inner-loop step counter driving periodic ctx checks
+}
+
+// tick counts one inner-loop step and reports the context error once
+// every ctxCheckInterval steps.
+func (s *solver) tick(ctx context.Context) error {
+	s.ops++
+	if s.ops%ctxCheckInterval == 0 {
+		return ctx.Err()
+	}
+	return nil
 }
 
 func newSolver(n int, edges []Edge) *solver {
@@ -480,8 +513,10 @@ func (s *solver) augmentMatching(k int) {
 	}
 }
 
-// solve runs the main stage loop and returns the vertex-to-mate map.
-func (s *solver) solve() []int {
+// solve runs the main stage loop and returns the vertex-to-mate map. It
+// checks ctx on the edge-scan and dual-adjustment loops and abandons the
+// search with ctx.Err() once the context fires.
+func (s *solver) solve(ctx context.Context) ([]int, error) {
 	n := s.n
 	for stage := 0; stage < n; stage++ {
 		for i := range s.label {
@@ -509,6 +544,9 @@ func (s *solver) solve() []int {
 				v := s.queue[len(s.queue)-1]
 				s.queue = s.queue[:len(s.queue)-1]
 				for _, p := range s.neighbend[v] {
+					if err := s.tick(ctx); err != nil {
+						return nil, err
+					}
 					k := p / 2
 					w := s.endpoint[p]
 					if s.inblossom[v] == s.inblossom[w] {
@@ -557,6 +595,9 @@ func (s *solver) solve() []int {
 			}
 
 			// Compute the dual adjustment delta.
+			if err := s.tick(ctx); err != nil {
+				return nil, err
+			}
 			deltatype := 1
 			var delta int64
 			deltaedge, deltablossom := -1, -1
@@ -652,7 +693,7 @@ func (s *solver) solve() []int {
 	}
 	// Defensive symmetry repair is not needed — the algorithm maintains
 	// mate symmetry — but verify in tests, not here.
-	return mate
+	return mate, nil
 }
 
 func (s *solver) minVertexDual() int64 {

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -259,4 +260,50 @@ func TestBruteForcePanicsOnLargeN(t *testing.T) {
 		}
 	}()
 	BruteForce(25, nil)
+}
+
+func TestMaxCtxCancellation(t *testing.T) {
+	// A dense random graph large enough that the blossom search performs
+	// well over one ctx-check interval of inner steps: a pre-canceled
+	// context must abort the stage loop.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 120
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{U: i, V: j, Weight: int64(1 + (i*7+j*13)%50)})
+		}
+	}
+	if _, err := MaxCtx(ctx, n, edges); err != context.Canceled {
+		t.Errorf("MaxCtx returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMaxCtxBackgroundMatchesMax(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(10)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(2) == 0 {
+					edges = append(edges, Edge{U: i, V: j, Weight: int64(r.Intn(40))})
+				}
+			}
+		}
+		want := Max(n, edges)
+		got, err := MaxCtx(context.Background(), n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: mate[%d] = %d vs %d", trial, v, got[v], want[v])
+			}
+		}
+	}
 }

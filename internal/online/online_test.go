@@ -219,6 +219,48 @@ func TestAdversarialFirstFit(t *testing.T) {
 	}
 }
 
+// TestAdversarialRatioOrdering measures both strategies' empirical
+// competitive ratios on the Ω(g) blocker stream against the exact
+// offline optimum. FirstFit stays within its documented g bound (the
+// construction makes it pay about g·longLen against an optimum of about
+// longLen, so the ratio approaches g from below), while Naive's cost
+// exceeds FirstFit's on the same stream — it additionally pays every
+// blocker its full length — yet still meets its own documented
+// g-competitive bound cost = len(J) ≤ g·OPT.
+func TestAdversarialRatioOrdering(t *testing.T) {
+	const g, longLen = 3, 60
+	in, err := workload.AdversarialFirstFit(g, longLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := exact.MinBusy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := replayOrFatal(t, in, FirstFit())
+	nv := replayOrFatal(t, in, Naive())
+	ffRatio := ff.CompetitiveVs(opt.Cost())
+	nvRatio := nv.CompetitiveVs(opt.Cost())
+	t.Logf("adversarial g=%d: exact=%d firstfit=%d (ratio %.3f) naive=%d (ratio %.3f)",
+		g, opt.Cost(), ff.Cost, ffRatio, nv.Cost, nvRatio)
+
+	if nv.Cost != in.TotalLen() {
+		t.Errorf("naive cost %d, documented cost is len(J) = %d", nv.Cost, in.TotalLen())
+	}
+	if ffRatio > float64(g) {
+		t.Errorf("FirstFit ratio %.3f exceeds the documented g = %d bound", ffRatio, g)
+	}
+	if ffRatio < float64(g)/2 {
+		t.Errorf("FirstFit ratio %.3f; the Ω(g) stream should force at least g/2 = %.1f", ffRatio, float64(g)/2)
+	}
+	if nvRatio <= ffRatio {
+		t.Errorf("naive ratio %.3f does not exceed FirstFit's %.3f on the blocker stream", nvRatio, ffRatio)
+	}
+	if nvRatio > float64(g) {
+		t.Errorf("naive ratio %.3f exceeds its documented g-competitive bound", nvRatio)
+	}
+}
+
 // TestAdversarialFirstFitScales checks the ratio keeps growing with g,
 // using the Observation 2.1 lower bound once exact is out of reach.
 func TestAdversarialFirstFitScales(t *testing.T) {

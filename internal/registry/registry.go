@@ -78,6 +78,22 @@ type Algorithm struct {
 	Classes []igraph.Class
 	// Guarantee is the human-readable approximation guarantee.
 	Guarantee string
+	// Ratio is the machine-checkable counterpart of Guarantee: the proven
+	// approximation factor as a function of the machine capacity g. For
+	// min-busy kinds it bounds cost ≤ Ratio(g)·OPT; for max-throughput it
+	// bounds the scheduled value ≥ OPT/Ratio(g). Exact algorithms return 1.
+	// A nil Ratio claims no proven factor (heuristic or empirical-only
+	// guarantees) and the conformance harness skips the oracle comparison.
+	Ratio func(g int) float64
+	// Weighted marks max-throughput algorithms whose objective is total
+	// scheduled weight rather than job count; verification compares them
+	// against the weighted oracle.
+	Weighted bool
+	// MinG and MaxG bound the machine capacities the algorithm accepts
+	// (0 means unbounded) — the machine-readable form of restrictions
+	// like clique-matching's g = 2, so verification can distinguish a
+	// legitimate capacity rejection from a regression.
+	MinG, MaxG int
 	// Exact reports whether the algorithm is optimal on its classes.
 	Exact bool
 	// Oracle marks exponential-time solvers: reachable by name, but
@@ -96,6 +112,18 @@ type Algorithm struct {
 	SolveThroughput func(ctx context.Context, in job.Instance, budget int64) (core.Schedule, error)
 	SolveRect       func(ctx context.Context, in job.RectInstance) (core.RectSchedule, error)
 	NewStrategy     func() online.Strategy
+}
+
+// AcceptsG reports whether the capacity g falls inside the algorithm's
+// declared [MinG, MaxG] range (zero bounds are open).
+func (a Algorithm) AcceptsG(g int) bool {
+	if a.MinG > 0 && g < a.MinG {
+		return false
+	}
+	if a.MaxG > 0 && g > a.MaxG {
+		return false
+	}
+	return true
 }
 
 // AppliesTo reports whether the algorithm accepts instances of the

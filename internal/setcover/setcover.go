@@ -11,10 +11,18 @@
 package setcover
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ctxCheckInterval is how many candidate-set inspections run between
+// context checks in the greedy loops and the subset enumeration: frequent
+// enough that a cancellation lands within a fraction of a millisecond on
+// the multi-million-set instances CliqueSetCover produces, rare enough
+// that the atomic load is free.
+const ctxCheckInterval = 1 << 14
 
 // Set is a candidate covering set: Elements indexes the universe, Weight is
 // its cost. Weights must be non-negative.
@@ -30,16 +38,29 @@ type Set struct {
 // the universe. The cover cost is within H_k of optimal, where k is the
 // largest set size.
 func Greedy(n int, sets []Set) ([]int, error) {
+	return GreedyCtx(context.Background(), n, sets)
+}
+
+// GreedyCtx is Greedy with cooperative cancellation: the O(n·|sets|)
+// candidate scan checks ctx every ctxCheckInterval inspections and
+// returns ctx.Err() once it fires, so a Solver deadline can abandon a
+// multi-million-set cover mid-iteration.
+func GreedyCtx(ctx context.Context, n int, sets []Set) ([]int, error) {
 	covered := make([]bool, n)
 	remaining := n
 	used := make([]bool, len(sets))
 	var chosen []int
+	scanned := 0
 
 	for remaining > 0 {
 		bestIdx := -1
 		var bestW int64
 		bestNew := 0
 		for i, s := range sets {
+			scanned++
+			if scanned%ctxCheckInterval == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if used[i] {
 				continue
 			}
@@ -87,16 +108,27 @@ func Greedy(n int, sets []Set) ([]int, error) {
 // subset-rich enough to always offer a fully-uncovered set (singletons
 // suffice); otherwise an error is returned.
 func GreedyPartition(n int, sets []Set) ([]int, error) {
+	return GreedyPartitionCtx(context.Background(), n, sets)
+}
+
+// GreedyPartitionCtx is GreedyPartition with cooperative cancellation,
+// checking ctx on the same schedule as GreedyCtx.
+func GreedyPartitionCtx(ctx context.Context, n int, sets []Set) ([]int, error) {
 	covered := make([]bool, n)
 	remaining := n
 	used := make([]bool, len(sets))
 	var chosen []int
+	scanned := 0
 
 	for remaining > 0 {
 		bestIdx := -1
 		var bestW int64
 		bestNew := 0
 		for i, s := range sets {
+			scanned++
+			if scanned%ctxCheckInterval == 0 && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			if used[i] || len(s.Elements) == 0 {
 				continue
 			}
@@ -176,22 +208,38 @@ func Partition(n int, sets []Set, chosen []int) [][]int {
 // retain it). The number of subsets is Σ_{i=1..k} C(n,i); Count reports it
 // so callers can refuse oversized enumerations.
 func EnumerateSubsets(n, k int, visit func(subset []int)) {
+	_ = EnumerateSubsetsCtx(context.Background(), n, k, visit)
+}
+
+// EnumerateSubsetsCtx is EnumerateSubsets with cooperative cancellation:
+// it checks ctx every ctxCheckInterval visited subsets, abandons the
+// enumeration once it fires, and returns ctx.Err().
+func EnumerateSubsetsCtx(ctx context.Context, n, k int, visit func(subset []int)) error {
 	scratch := make([]int, 0, k)
-	var rec func(start int)
-	rec = func(start int) {
+	visited := 0
+	var rec func(start int) error
+	rec = func(start int) error {
 		if len(scratch) > 0 {
+			visited++
+			if visited%ctxCheckInterval == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			visit(scratch)
 		}
 		if len(scratch) == k {
-			return
+			return nil
 		}
 		for v := start; v < n; v++ {
 			scratch = append(scratch, v)
-			rec(v + 1)
+			err := rec(v + 1)
 			scratch = scratch[:len(scratch)-1]
+			if err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0)
+	return rec(0)
 }
 
 // Count returns Σ_{i=1..k} C(n,i), the number of subsets EnumerateSubsets

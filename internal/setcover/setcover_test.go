@@ -1,6 +1,8 @@
 package setcover
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -270,5 +272,47 @@ func TestPropertyGreedyWithinHk(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestGreedyCtxCancellation(t *testing.T) {
+	// A pre-canceled context must surface from both greedy variants and
+	// from the subset enumeration instead of running to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	n := 400
+	var sets []Set
+	for i := 0; i < n; i++ {
+		sets = append(sets, Set{Elements: []int{i}, Weight: 1})
+	}
+	if _, err := GreedyCtx(ctx, n, sets); err != context.Canceled {
+		t.Errorf("GreedyCtx returned %v, want context.Canceled", err)
+	}
+	if _, err := GreedyPartitionCtx(ctx, n, sets); err != context.Canceled {
+		t.Errorf("GreedyPartitionCtx returned %v, want context.Canceled", err)
+	}
+	if err := EnumerateSubsetsCtx(ctx, 30, 4, func([]int) {}); err != context.Canceled {
+		t.Errorf("EnumerateSubsetsCtx returned %v, want context.Canceled", err)
+	}
+}
+
+func TestGreedyCtxBackgroundMatchesGreedy(t *testing.T) {
+	sets := []Set{
+		{Elements: []int{0, 1}, Weight: 3},
+		{Elements: []int{1, 2}, Weight: 2},
+		{Elements: []int{0}, Weight: 1},
+		{Elements: []int{2}, Weight: 1},
+	}
+	want, err := Greedy(3, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GreedyCtx(context.Background(), 3, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("GreedyCtx chose %v, Greedy chose %v", got, want)
 	}
 }

@@ -150,6 +150,21 @@ func (r Result) Certificate() error {
 	if r.Kind == KindMaxThroughput && r.Cost > r.Budget {
 		return fmt.Errorf("busytime: cost %d exceeds budget %d", r.Cost, r.Budget)
 	}
+	if r.Kind == KindOnline {
+		// An online replay commits every arrival irrevocably, so the run
+		// statistics must be internally consistent: all jobs scheduled,
+		// every distinct machine was opened, and the peak of simultaneously
+		// open machines never exceeds the number ever opened.
+		if r.Scheduled != len(in.Jobs) {
+			return fmt.Errorf("busytime: online run scheduled %d of %d jobs", r.Scheduled, len(in.Jobs))
+		}
+		if r.MachinesOpened < r.Machines {
+			return fmt.Errorf("busytime: online run reports %d machines opened but %d distinct machines used", r.MachinesOpened, r.Machines)
+		}
+		if r.PeakOpen > r.MachinesOpened {
+			return fmt.Errorf("busytime: online run peak %d exceeds %d machines opened", r.PeakOpen, r.MachinesOpened)
+		}
+	}
 	return nil
 }
 
