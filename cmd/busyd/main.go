@@ -1,0 +1,76 @@
+// Command busyd is the busy-time scheduling daemon: an HTTP service
+// sitting directly on the Solver API.
+//
+// Endpoints:
+//
+//	POST /v1/solve        solve one instance (JSON wire format)
+//	POST /v1/solve/batch  solve a batch over the worker pool
+//	GET  /v1/algorithms   the algorithm registry
+//	GET  /healthz         liveness
+//	GET  /metrics         plain-text counters (Prometheus exposition)
+//
+// Every response carries the Result.Certificate() verdict and the
+// machine assignment, so clients can re-verify schedules locally.
+//
+// Usage:
+//
+//	busyd -addr :8080 -workers 0 -max-inflight 64 -max-jobs 10000
+//	busyd -addr :8080 -algo first-fit-fast
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes immediately,
+// in-flight solves get -drain-timeout to finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		algo         = flag.String("algo", "", "pin a registered algorithm (default: auto dispatch)")
+		workers      = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		budget       = flag.Int64("budget", 0, "default busy-time budget for max-throughput requests")
+		maxInFlight  = flag.Int("max-inflight", 256, "max concurrently admitted requests (0 = unlimited)")
+		maxJobs      = flag.Int("max-jobs", 100000, "max jobs per instance (0 = unlimited)")
+		maxBatch     = flag.Int("max-batch", 1024, "max requests per batch (0 = unlimited)")
+		maxBody      = flag.Int64("max-body-bytes", 8<<20, "max request body bytes")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+	)
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Algorithm:    *algo,
+		Workers:      *workers,
+		Budget:       *budget,
+		MaxInFlight:  *maxInFlight,
+		MaxJobs:      *maxJobs,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
+		DrainTimeout: *drainTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "busyd:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("busyd: listening on %s (workers=%d max-inflight=%d max-jobs=%d)",
+		*addr, *workers, *maxInFlight, *maxJobs)
+	if err := srv.Run(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "busyd:", err)
+		os.Exit(1)
+	}
+	log.Printf("busyd: drained and stopped")
+}

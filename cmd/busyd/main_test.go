@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestBusydEndToEnd stands the daemon up on a random port the way main
+// does (server.Serve under a cancellable signal-style context), solves a
+// batch over real HTTP, checks every certificate, and drains.
+func TestBusydEndToEnd(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2, MaxInFlight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	waitHealthy(t, base)
+
+	batch := server.BatchRequest{}
+	for seed := int64(1); seed <= 8; seed++ {
+		in := workload.Proper(seed, workload.Config{N: 15, G: 3, MaxTime: 400, MaxLen: 60})
+		batch.Requests = append(batch.Requests, server.Request{Instance: &in})
+	}
+	data, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/solve/batch", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out server.BatchResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(batch.Requests) {
+		t.Fatalf("got %d results for %d requests", len(out.Results), len(batch.Requests))
+	}
+	for i, res := range out.Results {
+		if res.Error != "" {
+			t.Fatalf("request %d failed: %s", i, res.Error)
+		}
+		if !res.Certified {
+			t.Fatalf("request %d not certified: %s", i, res.CertificateError)
+		}
+	}
+
+	cancel() // SIGTERM equivalent
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemon never became healthy")
+}

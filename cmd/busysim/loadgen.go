@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// runLoadgen is the `busysim loadgen` subcommand: it fires concurrent
+// solve batches at a running busyd and reports throughput and latency
+// percentiles — the replay load generator of the serving layer.
+func runLoadgen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", "http://127.0.0.1:8080", "busyd base URL")
+		batches     = fs.Int("batches", 32, "number of batches to fire")
+		batchSize   = fs.Int("batch", 32, "requests per batch")
+		concurrency = fs.Int("concurrency", 4, "concurrent in-flight batches")
+		family      = fs.String("workload", "proper", "workload family: "+strings.Join(workload.Names(), "|"))
+		n           = fs.Int("n", 20, "jobs per instance")
+		g           = fs.Int("g", 3, "machine capacity")
+		seed        = fs.Int64("seed", 1, "base random seed")
+		maxTime     = fs.Int64("maxtime", 400, "workload horizon")
+		maxLen      = fs.Int64("maxlen", 60, "maximum job length")
+		kind        = fs.String("kind", "min-busy", "request kind: min-busy|max-throughput|online")
+		budget      = fs.Int64("budget", 0, "busy-time budget for max-throughput requests")
+		algo        = fs.String("algo", "", "pin a batch algorithm (default: auto dispatch)")
+		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request solve deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batches < 1 || *batchSize < 1 || *concurrency < 1 {
+		return fmt.Errorf("loadgen: batches, batch and concurrency must be positive")
+	}
+
+	// Pre-build every batch body so the measured loop is pure HTTP + solve.
+	bodies := make([][]byte, *batches)
+	for b := 0; b < *batches; b++ {
+		batch := server.BatchRequest{Algorithm: *algo}
+		for r := 0; r < *batchSize; r++ {
+			in, err := workload.ByName(*family, *seed+int64(b**batchSize+r), workload.Config{
+				N: *n, G: *g, MaxTime: *maxTime, MaxLen: *maxLen,
+			})
+			if err != nil {
+				return err
+			}
+			inst := in
+			batch.Requests = append(batch.Requests, server.Request{
+				Kind: *kind, Instance: &inst, Budget: *budget, TimeoutMS: *timeoutMS,
+			})
+		}
+		data, err := json.Marshal(batch)
+		if err != nil {
+			return err
+		}
+		bodies[b] = data
+	}
+
+	// latencies[b] > 0 only for batches that came back 200 and decoded —
+	// rejected or failed round-trips must not dilute the percentiles,
+	// and throughput counts only requests the daemon actually solved.
+	var (
+		latencies   = make([]time.Duration, *batches)
+		completed   atomic.Int64 // requests solved and certified
+		httpErrs    atomic.Int64
+		solveErrs   atomic.Int64
+		uncertified atomic.Int64
+		next        atomic.Int64
+		wg          sync.WaitGroup
+	)
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= *batches {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(*addr+"/v1/solve/batch", "application/json", bytes.NewReader(bodies[b]))
+				if err != nil {
+					httpErrs.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					httpErrs.Add(1)
+					continue
+				}
+				var out server.BatchResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					httpErrs.Add(1)
+					continue
+				}
+				latencies[b] = time.Since(t0)
+				for _, res := range out.Results {
+					switch {
+					case res.Error != "":
+						solveErrs.Add(1)
+					case !res.Certified:
+						uncertified.Add(1)
+					default:
+						completed.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	done := make([]time.Duration, 0, len(latencies))
+	for _, d := range latencies {
+		if d > 0 {
+			done = append(done, d)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i] < done[j] })
+	sent := int64(*batches) * int64(*batchSize)
+	fmt.Fprintf(out, "loadgen: %d batches × %d requests, concurrency %d against %s\n",
+		*batches, *batchSize, *concurrency, *addr)
+	fmt.Fprintf(out, "elapsed=%v sent=%d completed=%d throughput=%.1f req/s (%.1f batches/s)\n",
+		elapsed.Round(time.Millisecond), sent, completed.Load(),
+		float64(completed.Load())/elapsed.Seconds(),
+		float64(len(done))/elapsed.Seconds())
+	if len(done) > 0 {
+		fmt.Fprintf(out, "batch latency p50=%v p90=%v p99=%v max=%v\n",
+			percentile(done, 0.50), percentile(done, 0.90),
+			percentile(done, 0.99), done[len(done)-1])
+	}
+	fmt.Fprintf(out, "errors: http=%d solve=%d uncertified=%d\n",
+		httpErrs.Load(), solveErrs.Load(), uncertified.Load())
+	if httpErrs.Load() > 0 || solveErrs.Load() > 0 || uncertified.Load() > 0 {
+		return fmt.Errorf("loadgen: %d transport errors, %d solve errors, %d uncertified results",
+			httpErrs.Load(), solveErrs.Load(), uncertified.Load())
+	}
+	return nil
+}
+
+// percentile returns the p-th percentile of the sorted latency sample.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

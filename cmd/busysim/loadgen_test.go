@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestLoadgenAgainstServer drives the loadgen subcommand against an
+// in-process daemon and checks the report: all requests certified, no
+// transport errors, percentiles printed.
+func TestLoadgenAgainstServer(t *testing.T) {
+	s, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err = runLoadgen([]string{
+		"-addr", ts.URL,
+		"-batches", "6", "-batch", "4", "-concurrency", "3",
+		"-workload", "proper", "-n", "12", "-g", "3",
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"throughput=", "p50=", "p99=", "errors: http=0 solve=0 uncertified=0"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestLoadgenBadFlags checks argument validation.
+func TestLoadgenBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := runLoadgen([]string{"-batches", "0"}, &out); err == nil {
+		t.Fatal("zero batches accepted")
+	}
+	if err := runLoadgen([]string{"-workload", "nope"}, &out); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -10,6 +10,11 @@
 //	busysim -workload proper-clique -n 30 -g 3 -alg throughput -budget 500
 //	busysim -workload general -n 12 -g 2 -alg exact
 //
+// The loadgen subcommand replays generated batches against a running
+// busyd daemon and reports throughput and latency percentiles:
+//
+//	busysim loadgen -addr http://127.0.0.1:8080 -batches 64 -batch 32 -concurrency 8
+//
 // -alg accepts any registered algorithm name or alias (the historical
 // short spellings keep working), plus "auto" (MinBusy dispatch) and
 // "throughput" (MaxThroughput dispatch, needs -budget). An unknown name
@@ -33,6 +38,12 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := runLoadgen(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		workloadName = flag.String("workload", "general", "workload family: "+strings.Join(workload.Names(), "|"))
 		n            = flag.Int("n", 20, "number of jobs")

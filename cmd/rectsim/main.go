@@ -69,13 +69,14 @@ func main() {
 }
 
 // pickAlgorithms resolves -alg through the registry: "all" runs every
-// registered 2-D algorithm strongest-first; unknown names report the
+// registered polynomial 2-D algorithm strongest-first (the size-capped
+// exact-2d oracle is reachable by name only); unknown names report the
 // registered list.
 func pickAlgorithms(alg string) ([]string, error) {
 	if alg == "all" {
 		var names []string
 		for _, a := range busytime.Algorithms() {
-			if a.Kind == busytime.KindMinBusy2D {
+			if a.Kind == busytime.KindMinBusy2D && !a.Oracle {
 				names = append(names, a.Name)
 			}
 		}

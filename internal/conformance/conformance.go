@@ -516,9 +516,10 @@ func throughputOracle(ctx context.Context, alg registry.Algorithm, in job.Instan
 	return exact.MaxThroughputCtx(ctx, in, budget)
 }
 
-// CheckRectInstance is the 2-D counterpart of CheckInstance. No exact 2-D
-// oracle exists, so the guarantee comparison is skipped; certificate,
-// lower bound and the metamorphic transformations still apply.
+// CheckRectInstance is the 2-D counterpart of CheckInstance: certificate,
+// lower bound, the exact rectangle-assignment oracle guarantee on
+// oracle-sized instances (n ≤ exact.MaxRectN), and the metamorphic
+// transformations.
 func CheckRectInstance(ctx context.Context, alg registry.Algorithm, in job.RectInstance) error {
 	if alg.Kind != registry.MinBusy2D {
 		return fmt.Errorf("conformance: CheckRectInstance needs a %s algorithm, got %s", registry.MinBusy2D, alg.Kind)
@@ -540,6 +541,29 @@ func CheckRectInstance(ctx context.Context, alg registry.Algorithm, in job.RectI
 	}
 	if res.Cost < in.LowerBound() {
 		return violationf("lower-bound", "cost %d below 2-D Observation 2.1 bound %d", res.Cost, in.LowerBound())
+	}
+
+	// (c) guarantee against the exact rectangle oracle on oracle-sized
+	// instances: no algorithm may beat the optimum, exact algorithms must
+	// match it, and a registered Ratio(g) bounds the gap.
+	if len(in.Jobs) > 0 && len(in.Jobs) <= exact.MaxRectN {
+		opt, oerr := exact.MinBusyRectCtx(ctx, in)
+		if oerr != nil {
+			return oerr
+		}
+		optCost := opt.Cost()
+		if res.Cost < optCost {
+			return violationf("guarantee", "cost %d beats the exact 2-D optimum %d (infeasible schedule or oracle bug)", res.Cost, optCost)
+		}
+		if alg.Exact && res.Cost != optCost {
+			return violationf("guarantee", "exact algorithm cost %d != 2-D optimum %d", res.Cost, optCost)
+		}
+		if alg.Ratio != nil {
+			bound := alg.Ratio(in.G) * float64(optCost)
+			if float64(res.Cost) > bound+ratioSlack {
+				return violationf("guarantee", "cost %d exceeds %.4f = Ratio(%d)·OPT (2-D OPT = %d)", res.Cost, bound, in.G, optCost)
+			}
+		}
 	}
 
 	if permRes, perr := run(PermuteRect(in)); perr == nil {

@@ -178,6 +178,12 @@ func init() {
 			return core.BucketFirstFitAuto(in)
 		},
 	})
+	MustRegister(Algorithm{
+		Name: "exact-2d", Aliases: []string{"exact-rect"}, Kind: MinBusy2D,
+		Guarantee: "exact (n ≤ 7)", Ratio: exactRatio, Exact: true, Oracle: true,
+		Ref:       "exhaustive rectangle assignment oracle",
+		SolveRect: exact.MinBusyRectCtx,
+	})
 
 	// Online strategies. Strength orders the auto pick: FirstFit tracks
 	// the offline cost closest on stochastic arrivals, Buckets bounds the

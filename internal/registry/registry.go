@@ -165,7 +165,16 @@ var (
 	mu     sync.RWMutex
 	byName = map[string]Algorithm{}
 	all    []Algorithm
+	// chains memoizes ForAll per (kind, class): dispatch runs once per
+	// solve request, so the serving hot path would otherwise re-sort the
+	// registry on every call. Register invalidates it.
+	chains = map[chainKey][]Algorithm{}
 )
+
+type chainKey struct {
+	kind  Kind
+	class igraph.Class
+}
 
 // Register adds an algorithm to the registry. It errors on an empty or
 // duplicate canonical name, a name or alias colliding with an existing
@@ -197,6 +206,7 @@ func Register(a Algorithm) error {
 	}
 	byName[a.Name] = a
 	all = append(all, a)
+	chains = map[chainKey][]Algorithm{}
 	return nil
 }
 
@@ -303,11 +313,21 @@ func For(kind Kind, class igraph.Class) (Algorithm, error) {
 // ForAll returns every applicable non-oracle algorithm for the detected
 // class, strongest first — the fallback chain auto dispatch walks when a
 // stronger algorithm rejects an instance (e.g. clique-matching with
-// g ≠ 2 falls back to clique-set-cover, then first-fit).
+// g ≠ 2 falls back to clique-set-cover, then first-fit). The returned
+// slice is memoized and shared; callers must treat it as read-only.
 func ForAll(kind Kind, class igraph.Class) []Algorithm {
+	key := chainKey{kind, class}
 	mu.RLock()
-	defer mu.RUnlock()
-	var chain []Algorithm
+	chain, ok := chains[key]
+	mu.RUnlock()
+	if ok {
+		return chain
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if chain, ok := chains[key]; ok {
+		return chain
+	}
 	for _, a := range all {
 		if a.Kind == kind && !a.Oracle && a.AppliesTo(class) {
 			chain = append(chain, a)
@@ -319,6 +339,7 @@ func ForAll(kind Kind, class igraph.Class) []Algorithm {
 		}
 		return chain[i].Name < chain[j].Name
 	})
+	chains[key] = chain
 	return chain
 }
 

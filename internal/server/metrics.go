@@ -1,0 +1,131 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the solve-latency histogram bucket upper bounds in
+// seconds, spanning microsecond dispatch overhead to multi-second exact
+// oracle runs.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// batchSizeBounds bucket the number of requests per batch.
+var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+
+// histogram is a fixed-bucket cumulative histogram with atomic counters,
+// rendered in the Prometheus text exposition format.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	sum    atomic.Int64   // scaled observations (nanoseconds / raw counts)
+	scale  float64        // divides sum on render (1e9 for nanoseconds)
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64, scale float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1), scale: scale}
+}
+
+// observe records one value (already in the bounds' unit).
+func (h *histogram) observe(v float64, raw int64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(raw)
+	h.n.Add(1)
+}
+
+// writeTo renders the cumulative buckets under the given metric name.
+func (h *histogram) writeTo(w io.Writer, name string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/h.scale)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// metrics is the daemon's plain-text counter set: request counts per
+// endpoint, admission rejections, per-request error count, the in-flight
+// gauge, and latency/batch-size histograms. All fields are atomics; the
+// /metrics handler renders a consistent-enough snapshot without locks.
+type metrics struct {
+	requestsSolve      atomic.Int64
+	requestsBatch      atomic.Int64
+	requestsAlgorithms atomic.Int64
+	requestsHealth     atomic.Int64
+	solveErrors        atomic.Int64 // per-request solve failures (single + batch items)
+	rejectedOverload   atomic.Int64 // 429: in-flight cap
+	rejectedTooLarge   atomic.Int64 // 413: instance or batch size cap
+	badRequests        atomic.Int64 // 400: malformed wire input
+	inFlight           atomic.Int64
+	batchInstances     atomic.Int64 // total requests across all batches
+	solveLatency       *histogram
+	batchLatency       *histogram
+	batchSize          *histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		solveLatency: newHistogram(latencyBounds, 1e9),
+		batchLatency: newHistogram(latencyBounds, 1e9),
+		batchSize:    newHistogram(batchSizeBounds, 1),
+	}
+}
+
+func (m *metrics) observeSolve(d time.Duration) {
+	m.solveLatency.observe(d.Seconds(), d.Nanoseconds())
+}
+
+func (m *metrics) observeBatch(d time.Duration, size int) {
+	m.batchLatency.observe(d.Seconds(), d.Nanoseconds())
+	m.batchSize.observe(float64(size), int64(size))
+	m.batchInstances.Add(int64(size))
+}
+
+// writeTo renders every counter in the Prometheus text format — plain
+// counters and gauges, no client library dependency.
+func (m *metrics) writeTo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP busyd_requests_total Requests received per endpoint.\n")
+	fmt.Fprintf(w, "# TYPE busyd_requests_total counter\n")
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"solve\"} %d\n", m.requestsSolve.Load())
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"batch\"} %d\n", m.requestsBatch.Load())
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"algorithms\"} %d\n", m.requestsAlgorithms.Load())
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"healthz\"} %d\n", m.requestsHealth.Load())
+	fmt.Fprintf(w, "# HELP busyd_rejected_total Requests refused by admission control.\n")
+	fmt.Fprintf(w, "# TYPE busyd_rejected_total counter\n")
+	fmt.Fprintf(w, "busyd_rejected_total{reason=\"overload\"} %d\n", m.rejectedOverload.Load())
+	fmt.Fprintf(w, "busyd_rejected_total{reason=\"too_large\"} %d\n", m.rejectedTooLarge.Load())
+	fmt.Fprintf(w, "busyd_rejected_total{reason=\"bad_request\"} %d\n", m.badRequests.Load())
+	fmt.Fprintf(w, "# HELP busyd_solve_errors_total Per-request solve failures.\n")
+	fmt.Fprintf(w, "# TYPE busyd_solve_errors_total counter\n")
+	fmt.Fprintf(w, "busyd_solve_errors_total %d\n", m.solveErrors.Load())
+	fmt.Fprintf(w, "# HELP busyd_in_flight Solve and batch requests currently admitted.\n")
+	fmt.Fprintf(w, "# TYPE busyd_in_flight gauge\n")
+	fmt.Fprintf(w, "busyd_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "# HELP busyd_batch_instances_total Requests received inside batches.\n")
+	fmt.Fprintf(w, "# TYPE busyd_batch_instances_total counter\n")
+	fmt.Fprintf(w, "busyd_batch_instances_total %d\n", m.batchInstances.Load())
+	fmt.Fprintf(w, "# HELP busyd_solve_latency_seconds Single-solve wall clock.\n")
+	fmt.Fprintf(w, "# TYPE busyd_solve_latency_seconds histogram\n")
+	m.solveLatency.writeTo(w, "busyd_solve_latency_seconds")
+	fmt.Fprintf(w, "# HELP busyd_batch_latency_seconds Whole-batch wall clock.\n")
+	fmt.Fprintf(w, "# TYPE busyd_batch_latency_seconds histogram\n")
+	m.batchLatency.writeTo(w, "busyd_batch_latency_seconds")
+	fmt.Fprintf(w, "# HELP busyd_batch_size Requests per batch.\n")
+	fmt.Fprintf(w, "# TYPE busyd_batch_size histogram\n")
+	m.batchSize.writeTo(w, "busyd_batch_size")
+}

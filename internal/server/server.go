@@ -1,0 +1,361 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	busytime "repro"
+)
+
+// Config wires the daemon's flags to the server. The zero value serves
+// with auto dispatch, GOMAXPROCS batch workers and no admission limits.
+type Config struct {
+	// Algorithm optionally pins one registered algorithm for every
+	// request that does not name its own batch algorithm; empty selects
+	// auto dispatch.
+	Algorithm string
+	// Workers is the SolveBatch pool size (0 = GOMAXPROCS).
+	Workers int
+	// Budget is the default busy-time budget applied to max-throughput
+	// requests that carry none.
+	Budget int64
+	// MaxInFlight caps concurrently admitted solve/batch requests;
+	// excess requests are refused with 429. 0 = unlimited.
+	MaxInFlight int
+	// MaxJobs caps the per-instance job count; larger instances are
+	// refused with 413. 0 = unlimited.
+	MaxJobs int
+	// MaxBatch caps requests per batch; larger batches are refused with
+	// 413. 0 = unlimited.
+	MaxBatch int
+	// MaxBodyBytes caps request body size (default 8 MiB).
+	MaxBodyBytes int64
+	// DrainTimeout bounds the graceful shutdown drain (default 10 s).
+	DrainTimeout time.Duration
+}
+
+// Server serves the Solver API over HTTP: POST /v1/solve,
+// POST /v1/solve/batch, GET /v1/algorithms, GET /healthz, GET /metrics.
+// It is safe for concurrent use.
+type Server struct {
+	cfg      Config
+	solver   *busytime.Solver
+	pinnedMu sync.Mutex
+	pinned   map[string]*busytime.Solver // per-batch-algorithm solver cache
+	metrics  *metrics
+}
+
+// New validates the configuration (a pinned default algorithm must be
+// registered) and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Algorithm != "" {
+		if _, err := busytime.LookupAlgorithm(cfg.Algorithm); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		solver:  busytime.NewSolver(solverOptions(cfg, cfg.Algorithm)...),
+		pinned:  map[string]*busytime.Solver{},
+		metrics: newMetrics(),
+	}
+	return s, nil
+}
+
+func solverOptions(cfg Config, algorithm string) []busytime.SolverOption {
+	opts := []busytime.SolverOption{busytime.WithParallelism(cfg.Workers)}
+	if algorithm != "" {
+		opts = append(opts, busytime.WithAlgorithm(algorithm))
+	}
+	if cfg.Budget > 0 {
+		opts = append(opts, busytime.WithBudget(cfg.Budget))
+	}
+	return opts
+}
+
+// solverFor resolves the batch-level algorithm override. Solvers are
+// immutable, so one per algorithm is built lazily and cached.
+func (s *Server) solverFor(algorithm string) (*busytime.Solver, error) {
+	if algorithm == "" || algorithm == s.cfg.Algorithm {
+		return s.solver, nil
+	}
+	info, err := busytime.LookupAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	s.pinnedMu.Lock()
+	defer s.pinnedMu.Unlock()
+	if solver, ok := s.pinned[info.Name]; ok {
+		return solver, nil
+	}
+	solver := busytime.NewSolver(solverOptions(s.cfg, info.Name)...)
+	s.pinned[info.Name] = solver
+	return solver, nil
+}
+
+// Handler returns the route mux — also the entry point for httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/solve/batch", s.handleBatch)
+	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Run listens on addr and serves until ctx is canceled, then drains
+// gracefully: in-flight requests get up to DrainTimeout to finish.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run on a caller-provided listener (tests bind 127.0.0.1:0
+// and read the bound address back from the listener).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, give in-flight solves up to
+		// DrainTimeout to finish, then force-close the stragglers
+		// (closing their connections cancels their request contexts,
+		// which the solve paths honor).
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// admit applies the in-flight cap. It returns a release func on
+// success and writes the 429 itself on refusal.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	n := s.metrics.inFlight.Add(1)
+	if s.cfg.MaxInFlight > 0 && n > int64(s.cfg.MaxInFlight) {
+		s.metrics.inFlight.Add(-1)
+		s.metrics.rejectedOverload.Add(1)
+		httpError(w, http.StatusTooManyRequests,
+			fmt.Errorf("server: %d requests in flight exceeds limit %d", n, s.cfg.MaxInFlight))
+		return nil, false
+	}
+	return func() { s.metrics.inFlight.Add(-1) }, true
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsSolve.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("server: POST only"))
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var req Request
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if s.tooLarge(w, req.Jobs()) {
+		return
+	}
+	solverReq, err := req.ToSolverRequest()
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	res, err := s.solver.Solve(r.Context(), solverReq)
+	s.metrics.observeSolve(time.Since(start))
+	if err != nil {
+		s.metrics.solveErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, Result{Kind: solverReq.Kind.String(), Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, WireResult(res))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsBatch.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("server: POST only"))
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var batch batchEnvelope
+	if !s.decode(w, r, &batch) {
+		return
+	}
+	if s.cfg.MaxBatch > 0 && len(batch.Requests) > s.cfg.MaxBatch {
+		s.metrics.rejectedTooLarge.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: batch of %d requests exceeds limit %d", len(batch.Requests), s.cfg.MaxBatch))
+		return
+	}
+	solver, err := s.solverFor(batch.Algorithm)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Decode every wire request per item. A malformed or oversized item
+	// fails alone — its slot is pre-filled and skipped by the solver —
+	// so one bad request never poisons the batch.
+	kinds := make([]string, len(batch.Requests))
+	reqs := make([]busytime.Request, len(batch.Requests))
+	pre := make([]*Result, len(batch.Requests))
+	for i, raw := range batch.Requests {
+		var wireReq Request
+		if err := json.Unmarshal(raw, &wireReq); err != nil {
+			s.metrics.badRequests.Add(1)
+			pre[i] = &Result{Error: fmt.Sprintf("server: decoding request: %v", err)}
+			continue
+		}
+		kinds[i] = wireReq.Kind
+		if s.cfg.MaxJobs > 0 && wireReq.Jobs() > s.cfg.MaxJobs {
+			s.metrics.rejectedTooLarge.Add(1)
+			pre[i] = &Result{Error: fmt.Sprintf("server: instance of %d jobs exceeds limit %d", wireReq.Jobs(), s.cfg.MaxJobs)}
+			continue
+		}
+		sreq, err := wireReq.ToSolverRequest()
+		if err != nil {
+			s.metrics.badRequests.Add(1)
+			pre[i] = &Result{Error: err.Error()}
+			continue
+		}
+		reqs[i] = sreq
+	}
+
+	// Solve only the live slots, then re-interleave order-stably.
+	live := make([]busytime.Request, 0, len(reqs))
+	liveIdx := make([]int, 0, len(reqs))
+	for i := range reqs {
+		if pre[i] == nil {
+			live = append(live, reqs[i])
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	start := time.Now()
+	results, batchErr := solver.SolveBatch(r.Context(), live)
+	s.metrics.observeBatch(time.Since(start), len(batch.Requests))
+
+	// Pre-failed items were already counted by their rejection reason
+	// (too_large / bad_request); only real solve failures count below.
+	resp := BatchResponse{Results: make([]Result, len(batch.Requests))}
+	for i := range resp.Results {
+		if pre[i] != nil {
+			resp.Results[i] = *pre[i]
+			resp.Results[i].Kind = kinds[i]
+		}
+	}
+	for k, idx := range liveIdx {
+		resp.Results[idx] = WireResult(results[k])
+		if results[k].Err != nil {
+			s.metrics.solveErrors.Add(1)
+		}
+	}
+	// The batch-level error is ctx's: the client went away or the
+	// daemon is draining past its timeout. Per-request errors are
+	// already inline; report the batch as a whole anyway.
+	if batchErr != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsAlgorithms.Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("server: GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, WireAlgorithms())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsHealth.Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.writeTo(w)
+}
+
+// decode reads a JSON body under the size cap, reporting 400 (malformed)
+// or 413 (over the body cap) itself.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into interface{}) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.rejectedTooLarge.Add(1)
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+			return false
+		}
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+// tooLarge applies the per-instance size cap, writing the 413 itself.
+func (s *Server) tooLarge(w http.ResponseWriter, jobs int) bool {
+	if s.cfg.MaxJobs > 0 && jobs > s.cfg.MaxJobs {
+		s.metrics.rejectedTooLarge.Add(1)
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("server: instance of %d jobs exceeds limit %d", jobs, s.cfg.MaxJobs))
+		return true
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

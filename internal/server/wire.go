@@ -1,0 +1,261 @@
+// Package server is the HTTP serving layer of the library: JSON wire
+// types shared by the daemon, the CLIs and the tests, plus the handler
+// set behind cmd/busyd. It sits directly on the public Solver API —
+// every response carries the Result.Certificate() verdict, so serving
+// inherits the conformance story: a client can trust a "certified"
+// result without re-deriving the schedule statistics, and can re-check
+// them locally from the returned machine assignment.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	busytime "repro"
+	"repro/internal/job"
+	"repro/internal/registry"
+)
+
+// Request is the wire form of one solve call. Kind names the problem
+// family with the registry's Kind strings ("min-busy", "max-throughput",
+// "min-busy-2d", "online"); empty defaults to min-busy, and a non-nil
+// rect instance implies min-busy-2d. Exactly one of Instance and Rect
+// must be set. TimeoutMS bounds this request's solve wall-clock; the
+// server derives a per-request deadline from it, so one slow request in
+// a batch fails alone instead of stalling its siblings.
+type Request struct {
+	Kind      string        `json:"kind,omitempty"`
+	Instance  *job.Instance `json:"instance,omitempty"`
+	Rect      *RectInstance `json:"rect,omitempty"`
+	Budget    int64         `json:"budget,omitempty"`
+	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+}
+
+// BatchRequest is the wire form of POST /v1/solve/batch. Algorithm
+// optionally pins one registered algorithm (canonical name or alias)
+// for the whole batch; empty selects auto dispatch per request.
+type BatchRequest struct {
+	Algorithm string    `json:"algorithm,omitempty"`
+	Requests  []Request `json:"requests"`
+}
+
+// batchEnvelope is the server-side decode shape of BatchRequest: the
+// items stay raw so one malformed request (the instance codec validates
+// eagerly) is unmarshaled — and fails — per item instead of aborting
+// the whole batch decode.
+type batchEnvelope struct {
+	Algorithm string            `json:"algorithm"`
+	Requests  []json.RawMessage `json:"requests"`
+}
+
+// BatchResponse carries one Result per request, order-stable with the
+// batch.
+type BatchResponse struct {
+	Results []Result `json:"results"`
+}
+
+// RectInstance is the wire form of a 2-D instance (job.RectInstance has
+// no JSON codec of its own; the 1-D job.Instance codec is reused as-is).
+type RectInstance struct {
+	G    int       `json:"g"`
+	Jobs []RectJob `json:"jobs"`
+}
+
+// RectJob is one rectangle [start1, end1) × [start2, end2).
+type RectJob struct {
+	ID     int   `json:"id"`
+	Start1 int64 `json:"start1"`
+	End1   int64 `json:"end1"`
+	Start2 int64 `json:"start2"`
+	End2   int64 `json:"end2"`
+}
+
+// ToRectInstance decodes and validates the wire form.
+func (r RectInstance) ToRectInstance() (job.RectInstance, error) {
+	in := job.RectInstance{G: r.G, Jobs: make([]job.RectJob, len(r.Jobs))}
+	for i, j := range r.Jobs {
+		in.Jobs[i] = job.NewRectJob(j.ID, j.Start1, j.End1, j.Start2, j.End2)
+	}
+	if err := in.Validate(); err != nil {
+		return job.RectInstance{}, err
+	}
+	return in, nil
+}
+
+// WireRect encodes a 2-D instance for transport.
+func WireRect(in job.RectInstance) RectInstance {
+	out := RectInstance{G: in.G, Jobs: make([]RectJob, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		out.Jobs[i] = RectJob{
+			ID:     j.ID,
+			Start1: j.Rect.D1.Start, End1: j.Rect.D1.End,
+			Start2: j.Rect.D2.Start, End2: j.Rect.D2.End,
+		}
+	}
+	return out
+}
+
+// ParseKind resolves a wire kind string. Empty means min-busy; the
+// caller promotes to min-busy-2d when a rect instance is present.
+func ParseKind(s string) (busytime.ProblemKind, error) {
+	switch s {
+	case "", registry.MinBusy.String():
+		return busytime.KindMinBusy, nil
+	case registry.MaxThroughput.String():
+		return busytime.KindMaxThroughput, nil
+	case registry.MinBusy2D.String():
+		return busytime.KindMinBusy2D, nil
+	case registry.Online.String():
+		return busytime.KindOnline, nil
+	default:
+		return 0, fmt.Errorf("server: unknown kind %q (want %s, %s, %s or %s)",
+			s, registry.MinBusy, registry.MaxThroughput, registry.MinBusy2D, registry.Online)
+	}
+}
+
+// ToSolverRequest converts the wire request into a busytime.Request,
+// validating the kind/instance combination.
+func (r Request) ToSolverRequest() (busytime.Request, error) {
+	kind, err := ParseKind(r.Kind)
+	if err != nil {
+		return busytime.Request{}, err
+	}
+	req := busytime.Request{Kind: kind, Budget: r.Budget}
+	if r.TimeoutMS > 0 {
+		req.Timeout = time.Duration(r.TimeoutMS) * time.Millisecond
+	}
+	switch {
+	case r.Rect != nil && r.Instance != nil:
+		return busytime.Request{}, fmt.Errorf("server: request carries both an instance and a rect instance")
+	case r.Rect != nil:
+		if r.Kind != "" && kind != busytime.KindMinBusy2D {
+			return busytime.Request{}, fmt.Errorf("server: rect instance with kind %s", kind)
+		}
+		rin, err := r.Rect.ToRectInstance()
+		if err != nil {
+			return busytime.Request{}, err
+		}
+		req.Rect = &rin
+		req.Kind = busytime.KindMinBusy2D
+	case r.Instance != nil:
+		if kind == busytime.KindMinBusy2D {
+			return busytime.Request{}, fmt.Errorf("server: kind %s needs a rect instance", kind)
+		}
+		req.Instance = *r.Instance
+	default:
+		return busytime.Request{}, fmt.Errorf("server: request carries no instance")
+	}
+	return req, nil
+}
+
+// Jobs counts the jobs the request asks the solver to place — the size
+// admission control compares against the configured cap.
+func (r Request) Jobs() int {
+	if r.Rect != nil {
+		return len(r.Rect.Jobs)
+	}
+	if r.Instance != nil {
+		return len(r.Instance.Jobs)
+	}
+	return 0
+}
+
+// Result is the wire form of a structured solve outcome. Certified is
+// the Result.Certificate() verdict re-derived on the server from the
+// schedule itself; Machine is the (compacted) job-to-machine assignment
+// in instance order, so clients can reconstruct the schedule and
+// re-verify locally. Error is the per-request failure of a batch item
+// (or of a single solve, alongside a non-2xx status); a Result with a
+// non-empty Error carries no schedule.
+type Result struct {
+	Algorithm        string  `json:"algorithm,omitempty"`
+	Kind             string  `json:"kind,omitempty"`
+	Class            string  `json:"class,omitempty"`
+	Cost             int64   `json:"cost"`
+	Scheduled        int     `json:"scheduled"`
+	N                int     `json:"n"`
+	Machines         int     `json:"machines"`
+	MachinesOpened   int     `json:"machines_opened,omitempty"`
+	PeakOpen         int     `json:"peak_open,omitempty"`
+	LowerBound       int64   `json:"lower_bound"`
+	RatioVsBound     float64 `json:"ratio_vs_bound"`
+	Budget           int64   `json:"budget,omitempty"`
+	ElapsedNS        int64   `json:"elapsed_ns"`
+	Machine          []int   `json:"machine,omitempty"`
+	Certified        bool    `json:"certified"`
+	CertificateError string  `json:"certificate_error,omitempty"`
+	Error            string  `json:"error,omitempty"`
+}
+
+// WireResult encodes a solver Result, re-deriving the certificate
+// verdict so every served response carries it.
+func WireResult(res busytime.Result) Result {
+	out := Result{Kind: res.Kind.String()}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	out.Algorithm = res.Algorithm
+	out.Class = res.Class.String()
+	out.Cost = res.Cost
+	out.Scheduled = res.Scheduled
+	out.N = res.N
+	out.Machines = res.Machines
+	out.MachinesOpened = res.MachinesOpened
+	out.PeakOpen = res.PeakOpen
+	out.LowerBound = res.LowerBound
+	out.RatioVsBound = res.RatioVsBound
+	out.Budget = res.Budget
+	out.ElapsedNS = res.Elapsed.Nanoseconds()
+	if res.Rect != nil {
+		out.Machine = append([]int(nil), res.Rect.Machine...)
+	} else {
+		out.Machine = res.Schedule.CompactMachines().Machine
+	}
+	if cerr := res.Certificate(); cerr != nil {
+		out.CertificateError = cerr.Error()
+	} else {
+		out.Certified = true
+	}
+	return out
+}
+
+// AlgorithmInfo is the wire form of one registry entry, served by
+// GET /v1/algorithms.
+type AlgorithmInfo struct {
+	Name      string   `json:"name"`
+	Aliases   []string `json:"aliases,omitempty"`
+	Kind      string   `json:"kind"`
+	Classes   []string `json:"classes,omitempty"`
+	Guarantee string   `json:"guarantee"`
+	Exact     bool     `json:"exact,omitempty"`
+	Oracle    bool     `json:"oracle,omitempty"`
+	MinG      int      `json:"min_g,omitempty"`
+	MaxG      int      `json:"max_g,omitempty"`
+	Ref       string   `json:"ref,omitempty"`
+}
+
+// WireAlgorithms renders the full registry in registry.List() order.
+func WireAlgorithms() []AlgorithmInfo {
+	regs := busytime.Algorithms()
+	out := make([]AlgorithmInfo, len(regs))
+	for i, a := range regs {
+		info := AlgorithmInfo{
+			Name:      a.Name,
+			Aliases:   a.Aliases,
+			Kind:      a.Kind.String(),
+			Guarantee: a.Guarantee,
+			Exact:     a.Exact,
+			Oracle:    a.Oracle,
+			MinG:      a.MinG,
+			MaxG:      a.MaxG,
+			Ref:       a.Ref,
+		}
+		for _, c := range a.Classes {
+			info.Classes = append(info.Classes, c.String())
+		}
+		out[i] = info
+	}
+	return out
+}

@@ -73,6 +73,20 @@ type Request struct {
 	// Budget is the busy-time budget for KindMaxThroughput. When zero,
 	// the Solver-level WithBudget value applies.
 	Budget int64
+	// Timeout, when positive, bounds this request's wall-clock solve
+	// time: Solve derives a per-request deadline from the caller's ctx,
+	// so one slow request in a SolveBatch cannot hold its worker beyond
+	// its own budget. Zero means no per-request deadline.
+	Timeout time.Duration
+}
+
+// EffectiveKind resolves the problem kind the Solver will dispatch on:
+// a non-nil Rect promotes the zero Kind to KindMinBusy2D.
+func (r Request) EffectiveKind() ProblemKind {
+	if r.Rect != nil {
+		return KindMinBusy2D
+	}
+	return r.Kind
 }
 
 // Result is a structured solve outcome: the schedule itself plus the
@@ -111,6 +125,12 @@ type Result struct {
 	Budget int64 `json:"budget,omitempty"`
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration `json:"elapsed"`
+	// Err is the per-request failure of a SolveBatch item. Solve reports
+	// errors through its second return value and leaves Err nil; in a
+	// batch, one malformed or timed-out request must not poison its
+	// siblings, so each Result carries its own error instead. A Result
+	// with non-nil Err holds no schedule.
+	Err error `json:"-"`
 }
 
 // Certificate re-derives the quality claims of the Result from the
@@ -263,16 +283,70 @@ func WithParallelism(workers int) SolverOption {
 
 // Solve executes one Request. It is context-cancellable: long exact and
 // oracle runs check ctx at safe points, and auto dispatch stops between
-// fallback attempts once ctx fires.
+// fallback attempts once ctx fires. A positive Request.Timeout
+// additionally bounds this call with its own deadline.
 func (s *Solver) Solve(ctx context.Context, req Request) (Result, error) {
+	if req.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		defer cancel()
+	}
+	return s.solveOne(ctx, req)
+}
+
+// SolveBatch executes a batch of Requests over a bounded worker pool and
+// returns one Result per Request, order-stable with the input. It
+// generalizes WithParallelism beyond disconnected components: the same
+// worker count shards whole requests, each solved sequentially on its
+// worker (classification runs exactly once per request, and component
+// parallelism is disabled inside batch workers so the pool is the only
+// source of concurrency).
+//
+// Errors are per-request: a malformed instance, an algorithm rejection
+// or an expired Request.Timeout surfaces in that Result's Err field
+// without poisoning the rest of the batch. The call-level error is
+// non-nil only when the batch ctx itself fired, in which case every
+// not-yet-solved request carries ctx's error and the partial results
+// are still returned order-stable.
+func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]Result, error) {
+	results := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return results, nil
+	}
+	// Batch workers solve sequentially: nesting component parallelism
+	// inside request parallelism would oversubscribe the pool.
+	inner := *s
+	inner.parallelism = 1
+	parallel.ForEach(len(reqs), s.parallelism, func(i int) {
+		req := reqs[i]
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Kind: req.EffectiveKind(), Err: err}
+			return
+		}
+		rctx, cancel := ctx, context.CancelFunc(nil)
+		if req.Timeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		}
+		res, err := inner.solveOne(rctx, req)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			res = Result{Kind: req.EffectiveKind(), Err: err}
+		}
+		results[i] = res
+	})
+	return results, ctx.Err()
+}
+
+// solveOne is the shared request path behind Solve and SolveBatch: it
+// classifies the instance once and dispatches on the problem kind.
+func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	kind := req.Kind
-	if req.Rect != nil {
-		kind = KindMinBusy2D
-	}
+	kind := req.EffectiveKind()
 
 	if kind == KindMinBusy2D {
 		if req.Rect == nil {

@@ -1,0 +1,197 @@
+package busytime_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	busytime "repro"
+)
+
+// batchWorkload builds n distinguishable proper instances so order
+// stability is observable through Result.N.
+func batchWorkload(n int) []busytime.Request {
+	reqs := make([]busytime.Request, n)
+	for i := range reqs {
+		in := busytime.GenerateProper(int64(i+1), busytime.WorkloadConfig{
+			N: 10 + i, G: 3, MaxTime: 400, MaxLen: 60,
+		})
+		reqs[i] = busytime.Request{Instance: in}
+	}
+	return reqs
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	res, err := busytime.NewSolver().SolveBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("empty batch errored: %v", err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+func TestSolveBatchMatchesSolveOrderStable(t *testing.T) {
+	reqs := batchWorkload(16)
+	solver := busytime.NewSolver(busytime.WithParallelism(4))
+	ctx := context.Background()
+	batch, err := solver.SolveBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(batch), len(reqs))
+	}
+	for i, res := range batch {
+		if res.Err != nil {
+			t.Fatalf("request %d failed: %v", i, res.Err)
+		}
+		if res.N != len(reqs[i].Instance.Jobs) {
+			t.Fatalf("request %d: result N = %d, want %d (order not stable)", i, res.N, len(reqs[i].Instance.Jobs))
+		}
+		single, serr := solver.Solve(ctx, reqs[i])
+		if serr != nil {
+			t.Fatalf("Solve(%d): %v", i, serr)
+		}
+		if res.Cost != single.Cost || res.Algorithm != single.Algorithm {
+			t.Fatalf("request %d: batch (%s, %d) != single (%s, %d)",
+				i, res.Algorithm, res.Cost, single.Algorithm, single.Cost)
+		}
+		if cerr := res.Certificate(); cerr != nil {
+			t.Fatalf("request %d: certificate: %v", i, cerr)
+		}
+	}
+}
+
+func TestSolveBatchMixedKinds(t *testing.T) {
+	in := busytime.GenerateProper(7, busytime.WorkloadConfig{N: 12, G: 3, MaxTime: 300, MaxLen: 50})
+	clique := busytime.GenerateClique(8, busytime.WorkloadConfig{N: 10, G: 2, MaxTime: 300, MaxLen: 50})
+	rin := busytime.RectInstance{G: 2}
+	for i := 0; i < 5; i++ {
+		s := int64(i * 3)
+		rin.Jobs = append(rin.Jobs, busytime.RectJob{ID: i, Rect: busytime.Rect{
+			D1: busytime.Interval{Start: s, End: s + 4},
+			D2: busytime.Interval{Start: 0, End: 2},
+		}})
+	}
+	reqs := []busytime.Request{
+		{Instance: in},
+		{Instance: clique, Kind: busytime.KindMaxThroughput, Budget: clique.TotalLen()},
+		{Instance: in, Kind: busytime.KindOnline},
+		{Rect: &rin},
+	}
+	results, err := busytime.NewSolver(busytime.WithParallelism(2)).SolveBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	wantKinds := []busytime.ProblemKind{
+		busytime.KindMinBusy, busytime.KindMaxThroughput, busytime.KindOnline, busytime.KindMinBusy2D,
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d (%s) failed: %v", i, wantKinds[i], res.Err)
+		}
+		if res.Kind != wantKinds[i] {
+			t.Fatalf("request %d: kind %s, want %s", i, res.Kind, wantKinds[i])
+		}
+		if cerr := res.Certificate(); cerr != nil {
+			t.Fatalf("request %d (%s): certificate: %v", i, res.Kind, cerr)
+		}
+	}
+	if results[3].Rect == nil {
+		t.Fatal("2-D request returned no rect schedule")
+	}
+}
+
+func TestSolveBatchMalformedRequestDoesNotPoisonBatch(t *testing.T) {
+	reqs := batchWorkload(6)
+	bad := busytime.Instance{G: 0, Jobs: reqs[0].Instance.Jobs} // invalid capacity
+	reqs[3] = busytime.Request{Instance: bad}
+	results, err := busytime.NewSolver(busytime.WithParallelism(3)).SolveBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	for i, res := range results {
+		if i == 3 {
+			if res.Err == nil {
+				t.Fatal("malformed request 3 reported no error")
+			}
+			continue
+		}
+		if res.Err != nil {
+			t.Fatalf("healthy request %d poisoned: %v", i, res.Err)
+		}
+		if cerr := res.Certificate(); cerr != nil {
+			t.Fatalf("request %d: certificate: %v", i, cerr)
+		}
+	}
+}
+
+func TestSolveBatchPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := busytime.NewSolver().SolveBatch(ctx, batchWorkload(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4 (order-stable even on cancellation)", len(results))
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("request %d: Err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+}
+
+// TestSolveBatchCancellationMidBatch interrupts a sequential batch whose
+// first request is a multi-hundred-millisecond exact solve. The deadline
+// fires inside that solve; the batch must return promptly with the
+// context error on the interrupted and the never-started requests.
+func TestSolveBatchCancellationMidBatch(t *testing.T) {
+	slow := busytime.GenerateGeneral(3, busytime.WorkloadConfig{N: 17, G: 3, MaxTime: 500, MaxLen: 80})
+	reqs := []busytime.Request{{Instance: slow}}
+	reqs = append(reqs, batchWorkload(3)...)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results, err := busytime.NewSolver(
+		busytime.WithExactThreshold(18), busytime.WithParallelism(1),
+	).SolveBatch(ctx, reqs)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation not honored: batch ran %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("batch error = %v, want context.DeadlineExceeded", err)
+	}
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("interrupted request Err = %v, want context.DeadlineExceeded", results[0].Err)
+	}
+}
+
+// TestSolveBatchPerRequestTimeout gives one slow request its own tiny
+// deadline: it must fail alone while its siblings and the batch succeed.
+func TestSolveBatchPerRequestTimeout(t *testing.T) {
+	slow := busytime.GenerateGeneral(3, busytime.WorkloadConfig{N: 17, G: 3, MaxTime: 500, MaxLen: 80})
+	reqs := batchWorkload(3)
+	reqs = append(reqs, busytime.Request{Instance: slow, Timeout: time.Millisecond})
+
+	results, err := busytime.NewSolver(
+		busytime.WithExactThreshold(18), busytime.WithParallelism(2),
+	).SolveBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		// The healthy siblings are small enough for the exact threshold
+		// too, but carry no deadline and must succeed.
+		if results[i].Err != nil {
+			t.Fatalf("request %d failed: %v", i, results[i].Err)
+		}
+	}
+	if !errors.Is(results[3].Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline request Err = %v, want context.DeadlineExceeded", results[3].Err)
+	}
+}

@@ -41,6 +41,56 @@ func BenchmarkSolverDispatchDirect(b *testing.B) {
 	}
 }
 
+// batchRequests builds the 64-instance batch shared by the SolveBatch
+// benchmarks: large enough that the ≥ 32-instance acceptance comparison
+// holds, varied seeds so no two requests are identical.
+func batchRequests(n int) []busytime.Request {
+	reqs := make([]busytime.Request, n)
+	for i := range reqs {
+		reqs[i] = busytime.Request{Instance: busytime.GenerateProper(int64(i+1),
+			busytime.WorkloadConfig{N: 200, G: 4, MaxTime: 2000, MaxLen: 100})}
+	}
+	return reqs
+}
+
+// BenchmarkSolveBatch measures the batching path: one SolveBatch call
+// sharding 64 requests across the worker pool. CI uploads this next to
+// BenchmarkSolveSequential; batching must beat N sequential Solve calls
+// on ≥ 32-instance batches.
+func BenchmarkSolveBatch(b *testing.B) {
+	reqs := batchRequests(64)
+	solver := busytime.NewSolver(busytime.WithParallelism(0))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := solver.SolveBatch(ctx, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSolveSequential is the baseline the batch path must beat: the
+// same 64 requests through one Solve call each.
+func BenchmarkSolveSequential(b *testing.B) {
+	reqs := batchRequests(64)
+	solver := busytime.NewSolver()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, req := range reqs {
+			if _, err := solver.Solve(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkSolverDispatchSmall isolates the dispatch overhead itself on
 // a tiny instance where the algorithm's own work is negligible.
 func BenchmarkSolverDispatchSmall(b *testing.B) {

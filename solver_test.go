@@ -346,8 +346,11 @@ func TestRegistryFacadeViews(t *testing.T) {
 		t.Error(err)
 	}
 	names := busytime.AlgorithmNames(busytime.KindMinBusy2D)
-	if len(names) != 3 {
+	if len(names) != 4 { // three polynomial algorithms + the exact-2d oracle
 		t.Errorf("2-D names = %v", names)
+	}
+	if _, err := busytime.LookupAlgorithm("exact-2d"); err != nil {
+		t.Error(err)
 	}
 }
 
