@@ -199,6 +199,19 @@ type (
 	OnlineReport = online.Report
 	// OnlineMachine is one open machine's state, visible to strategies.
 	OnlineMachine = online.Machine
+	// OnlineBudgetSetter is implemented by admission-control strategies
+	// that accept a busy-time budget before the first arrival.
+	OnlineBudgetSetter = online.BudgetSetter
+	// OnlineSession is an incremental online run fed one arrival at a
+	// time — the state behind busyd's POST /v1/stream endpoint.
+	OnlineSession = online.Session
+	// OnlineEvent is one streamed arrival's placement with live telemetry.
+	OnlineEvent = online.Event
+	// OnlineSummary is a session's closing competitive-ratio report.
+	OnlineSummary = online.Summary
+	// OnlineRatioTracker maintains cost, Observation 2.1 bound and their
+	// ratio incrementally per admitted arrival.
+	OnlineRatioTracker = online.RatioTracker
 	// FlexJob is a flexible job scheduled anywhere inside its window.
 	FlexJob = online.FlexJob
 	// StartPolicy commits a flexible job's start time at its release.
@@ -212,6 +225,14 @@ var (
 	OnlineFirstFit = online.FirstFit
 	// OnlineBuckets runs FirstFit within doubling length classes.
 	OnlineBuckets = online.Buckets
+	// OnlineBestFit places each arrival where it adds the least busy time.
+	OnlineBestFit = online.BestFit
+	// OnlineBudgeted wraps BestFit with weighted budget admission control.
+	OnlineBudgeted = online.Budgeted
+	// NewOnlineSession starts an incremental session for a strategy.
+	NewOnlineSession = online.NewSession
+	// NewOnlineRatioTracker starts an incremental ratio tracker.
+	NewOnlineRatioTracker = online.NewRatioTracker
 	// ReplayOnline feeds an instance through a strategy in arrival order.
 	ReplayOnline = online.Replay
 	// ReplayFlexible replays flexible jobs under a start policy.
@@ -250,6 +271,9 @@ var (
 	GenerateFigure3 = workload.Figure3
 	// GenerateArrivals returns a general instance in arrival order.
 	GenerateArrivals = workload.Arrivals
+	// GenerateWeightedArrivals returns an arrival stream whose jobs carry
+	// throughput weights — the input of the budgeted admission strategy.
+	GenerateWeightedArrivals = workload.WeightedArrivals
 	// GenerateBurstyArrivals returns an arrival stream with simultaneous
 	// release bursts.
 	GenerateBurstyArrivals = workload.BurstyArrivals

@@ -5,6 +5,9 @@
 //
 //	POST /v1/solve        solve one instance (JSON wire format)
 //	POST /v1/solve/batch  solve a batch over the worker pool
+//	POST /v1/stream       NDJSON online session: arrivals in, one
+//	                      placement event per arrival out, live
+//	                      competitive-ratio telemetry, close report
 //	GET  /v1/algorithms   the algorithm registry
 //	GET  /healthz         liveness
 //	GET  /metrics         plain-text counters (Prometheus exposition)

@@ -15,6 +15,13 @@
 //
 //	busysim loadgen -addr http://127.0.0.1:8080 -batches 64 -batch 32 -concurrency 8
 //
+// The stream subcommand replays a workload as a live NDJSON arrival
+// stream against busyd's POST /v1/stream, prints the daemon's live
+// competitive-ratio telemetry, and cross-checks the close report against
+// an offline replay of the same stream:
+//
+//	busysim stream -addr http://127.0.0.1:8080 -workload weighted -n 500 -g 4 -strategy online-budget -budget 2000
+//
 // -alg accepts any registered algorithm name or alias (the historical
 // short spellings keep working), plus "auto" (MinBusy dispatch) and
 // "throughput" (MaxThroughput dispatch, needs -budget). An unknown name
@@ -40,6 +47,12 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
 		if err := runLoadgen(os.Args[2:], os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "stream" {
+		if err := runStream(os.Args[2:], os.Stdout); err != nil {
 			fatal(err)
 		}
 		return

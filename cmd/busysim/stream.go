@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	busytime "repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// runStream is the `busysim stream` subcommand: it replays a generated
+// workload as a live NDJSON arrival stream against a running busyd
+// (POST /v1/stream), prints the daemon's per-event and closing
+// competitive-ratio telemetry, and — unless -verify=false — replays the
+// same stream through the in-process offline harness and requires the
+// daemon's close report to match it byte for byte.
+func runStream(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("stream", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "busyd base URL")
+		family   = fs.String("workload", "arrivals", "workload family: "+strings.Join(workload.Names(), "|"))
+		n        = fs.Int("n", 200, "arrivals per stream")
+		g        = fs.Int("g", 4, "machine capacity")
+		seed     = fs.Int64("seed", 1, "random seed")
+		maxTime  = fs.Int64("maxtime", 2000, "workload horizon")
+		maxLen   = fs.Int64("maxlen", 80, "maximum job length")
+		strategy = fs.String("strategy", "", "online strategy (default: daemon's strongest)")
+		budget   = fs.Int64("budget", 0, "busy-time budget for admission-control strategies")
+		events   = fs.Bool("events", false, "print every assignment event, not just the close report")
+		verify   = fs.Bool("verify", true, "cross-check the close report against an offline replay")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in, err := workload.ByName(*family, *seed, workload.Config{N: *n, G: *g, MaxTime: *maxTime, MaxLen: *maxLen})
+	if err != nil {
+		return err
+	}
+	// Stream in arrival order: the online model reveals jobs by start time.
+	in = in.SortedByStart()
+
+	// Feed the daemon over a pipe so arrivals and assignments genuinely
+	// interleave on one connection (chunked request, streamed response).
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, *addr+"/v1/stream", pr)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	go func() {
+		enc := json.NewEncoder(pw)
+		if err := enc.Encode(server.StreamOpen{G: in.G, Strategy: *strategy, Budget: *budget}); err != nil {
+			pw.CloseWithError(err)
+			return
+		}
+		for _, j := range in.Jobs {
+			if err := enc.Encode(server.StreamArrival{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight}); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("stream: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	var closeEv *server.StreamEvent
+	got := 0
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev server.StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("stream: decoding event: %v", err)
+		}
+		switch ev.Type {
+		case server.StreamEventError:
+			return fmt.Errorf("stream: daemon error after %d events: %s", got, ev.Error)
+		case server.StreamEventClose:
+			e := ev
+			closeEv = &e
+		default:
+			got++
+			if *events {
+				fmt.Fprintf(out, "event %d: job %d %s machine=%d opened=%v marginal=%d cost=%d LB=%d ratio=%.4f open=%d\n",
+					ev.Seq, ev.JobID, ev.Type, ev.Machine, ev.Opened, ev.Marginal, ev.Cost, ev.LowerBound, ev.Ratio, ev.Open)
+			}
+		}
+	}
+	if closeEv == nil {
+		return fmt.Errorf("stream: connection ended after %d events without a close report", got)
+	}
+	if got != len(in.Jobs) {
+		return fmt.Errorf("stream: %d arrivals sent but %d events received", len(in.Jobs), got)
+	}
+	fmt.Fprintf(out, "stream: %d arrivals (workload %s, n=%d g=%d seed=%d) via %s\n",
+		closeEv.Arrivals, *family, *n, *g, *seed, *addr)
+	fmt.Fprintf(out, "strategy=%s admitted=%d rejected=%d cost=%d machines=%d peak=%d LB=%d ratio=%.4f\n",
+		closeEv.Strategy, closeEv.Admitted, closeEv.Rejected, closeEv.Cost,
+		closeEv.MachinesOpened, closeEv.PeakOpen, closeEv.LowerBound, closeEv.Ratio)
+
+	if !*verify {
+		return nil
+	}
+	want, err := offlineClose(in, closeEv.Strategy, *budget)
+	if err != nil {
+		return fmt.Errorf("stream: offline replay: %v", err)
+	}
+	gotLine, err := json.Marshal(closeEv)
+	if err != nil {
+		return err
+	}
+	wantLine, err := json.Marshal(want)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(gotLine, wantLine) {
+		return fmt.Errorf("stream: close report diverges from offline replay\n streamed: %s\n offline:  %s", gotLine, wantLine)
+	}
+	fmt.Fprintf(out, "verify: streamed close report byte-equal to offline replay\n")
+	return nil
+}
+
+// offlineClose replays the instance through the named strategy with the
+// in-process harness and renders the close event a stream of the same
+// arrivals must produce.
+func offlineClose(in busytime.Instance, strategy string, budget int64) (server.StreamEvent, error) {
+	info, err := busytime.LookupAlgorithmKind(busytime.KindOnline, strategy)
+	if err != nil {
+		return server.StreamEvent{}, err
+	}
+	st := info.NewStrategy()
+	if budget > 0 {
+		bs, ok := st.(busytime.OnlineBudgetSetter)
+		if !ok {
+			return server.StreamEvent{}, fmt.Errorf("strategy %s does not support a budget", info.Name)
+		}
+		bs.SetBudget(budget)
+	}
+	res, err := busytime.ReplayOnline(in, st)
+	if err != nil {
+		return server.StreamEvent{}, err
+	}
+	return server.WireStreamClose(res.Summarize()), nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestStreamAgainstServer drives the stream subcommand against an
+// in-process daemon for each served strategy and requires the built-in
+// verification to hold: the daemon's close report must be byte-equal to
+// the offline replay of the same seeded stream.
+func TestStreamAgainstServer(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"auto strategy", nil},
+		{"firstfit", []string{"-strategy", "online-firstfit"}},
+		{"buckets", []string{"-strategy", "buckets"}},
+		{"budgeted weighted", []string{"-workload", "weighted", "-strategy", "online-budget", "-budget", "900"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out bytes.Buffer
+			args := append([]string{"-addr", ts.URL, "-n", "120", "-g", "3", "-seed", "4"}, c.args...)
+			if err := runStream(args, &out); err != nil {
+				t.Fatalf("stream: %v\n%s", err, out.String())
+			}
+			report := out.String()
+			for _, want := range []string{"strategy=", "ratio=", "byte-equal to offline replay"} {
+				if !strings.Contains(report, want) {
+					t.Fatalf("report missing %q:\n%s", want, report)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamRejectionsReported checks a tight budget surfaces rejections
+// in the close report (and still verifies against the offline harness).
+func TestStreamRejectionsReported(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err = runStream([]string{
+		"-addr", ts.URL, "-workload", "weighted", "-n", "200", "-g", "3",
+		"-seed", "2", "-strategy", "online-budget", "-budget", "400",
+	}, &out)
+	if err != nil {
+		t.Fatalf("stream: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "rejected=0 ") {
+		t.Fatalf("tight budget rejected nothing:\n%s", out.String())
+	}
+}

@@ -1,8 +1,9 @@
 // Command experiments regenerates every table in EXPERIMENTS.md by running
-// the full E1…E16 experiment suite and printing the rendered results.
+// the full E1…E17 experiment suite and printing the rendered results.
 // E16 is the registry-driven conformance harness: it walks the algorithm
 // registry, so a newly registered algorithm appears in its table
-// automatically.
+// automatically. E17 cross-checks the streaming online sessions against
+// the offline replay harness.
 //
 // Usage:
 //
@@ -49,8 +50,9 @@ func main() {
 		"E14": func() experiments.Result { return experiments.E14(min(*seeds, 30)) },
 		"E15": func() experiments.Result { return experiments.E15(min(*seeds, 30)) },
 		"E16": func() experiments.Result { return experiments.E16(min(*seeds, 5)) },
+		"E17": func() experiments.Result { return experiments.E17(min(*seeds, 20)) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16", "E17"}
 
 	if *only != "" {
 		run, ok := runners[*only]

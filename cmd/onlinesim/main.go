@@ -40,6 +40,7 @@ func main() {
 		maxLen       = flag.Int64("maxlen", 50, "maximum job length")
 		longLen      = flag.Int64("longlen", 0, "long-job length for the adversarial family (default 100g)")
 		strategyName = flag.String("strategy", "all", "strategy: all|"+strings.Join(busytime.AlgorithmNames(busytime.KindOnline), "|"))
+		budget       = flag.Int64("budget", 0, "busy-time budget for admission-control strategies (required by online-budget; without it \"all\" skips them)")
 		inFile       = flag.String("in", "", "load instance JSON instead of generating")
 		outJSON      = flag.Bool("json", false, "emit JSON output")
 	)
@@ -53,7 +54,7 @@ func main() {
 	if err := in.Validate(); err != nil {
 		fatal(err)
 	}
-	strategies, err := pickStrategies(*strategyName)
+	strategies, err := pickStrategies(*strategyName, *budget)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,15 +94,29 @@ func buildInstance(path, family string, seed, longLen int64, cfg workload.Config
 // pickStrategies resolves -strategy through the algorithm registry:
 // "all" instantiates every registered online strategy (weakest first, so
 // the report table reads baseline-to-best), anything else is a name or
-// alias, with unknown names reporting the registered list.
-func pickStrategies(name string) ([]online.Strategy, error) {
+// alias, with unknown names reporting the registered list. A positive
+// budget is handed to admission-control strategies (online-budget);
+// without one they would silently degenerate to plain BestFit, so "all"
+// drops them and naming one explicitly is an error.
+func pickStrategies(name string, budget int64) ([]online.Strategy, error) {
+	withBudget := func(st online.Strategy) online.Strategy {
+		if bs, ok := st.(online.BudgetSetter); ok && budget > 0 {
+			bs.SetBudget(budget)
+		}
+		return st
+	}
 	if name == "all" {
 		var sts []online.Strategy
 		algs := busytime.Algorithms()
 		for i := len(algs) - 1; i >= 0; i-- {
-			if algs[i].Kind == busytime.KindOnline {
-				sts = append(sts, algs[i].NewStrategy())
+			if algs[i].Kind != busytime.KindOnline {
+				continue
 			}
+			st := algs[i].NewStrategy()
+			if _, needs := st.(online.BudgetSetter); needs && budget <= 0 {
+				continue // without a budget the row would just repeat BestFit
+			}
+			sts = append(sts, withBudget(st))
 		}
 		return sts, nil
 	}
@@ -109,7 +124,11 @@ func pickStrategies(name string) ([]online.Strategy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []online.Strategy{info.NewStrategy()}, nil
+	st := info.NewStrategy()
+	if _, ok := st.(online.BudgetSetter); ok && budget <= 0 {
+		return nil, fmt.Errorf("strategy %s needs -budget (it admits everything without one)", info.Name)
+	}
+	return []online.Strategy{withBudget(st)}, nil
 }
 
 func emitText(in job.Instance, reports []online.Report) {
@@ -127,13 +146,13 @@ func emitText(in job.Instance, reports []online.Report) {
 	}
 	fmt.Println()
 
-	t := stats.Table{Header: []string{"strategy", "cost", "machines", "peak", "vs-offline", "vs-exact", "vs-LB"}}
+	t := stats.Table{Header: []string{"strategy", "cost", "machines", "peak", "rejected", "vs-offline", "vs-exact", "vs-LB"}}
 	for _, r := range reports {
 		vsExact := "-"
 		if r.HasExact {
 			vsExact = fmt.Sprintf("%.3f", r.VsExact())
 		}
-		t.Add(r.Strategy, r.Cost, r.Machines, r.PeakOpen,
+		t.Add(r.Strategy, r.Cost, r.Machines, r.PeakOpen, r.Rejected,
 			fmt.Sprintf("%.3f", r.VsOffline()), vsExact, fmt.Sprintf("%.3f", r.VsLowerBound()))
 	}
 	fmt.Print(t.String())

@@ -61,11 +61,12 @@ func TestBuildInstanceFromFile(t *testing.T) {
 
 func TestPickStrategies(t *testing.T) {
 	for name, want := range map[string]int{
-		"naive": 1, "firstfit": 1, "buckets": 1, // historical aliases
+		"naive": 1, "firstfit": 1, "buckets": 1, "bestfit": 1, "budget": 1, // aliases
 		"online-naive": 1, "online-firstfit": 1, "online-buckets": 1, // canonical
-		"all": 3,
+		"online-bestfit": 1, "online-budget": 1,
+		"all": 5,
 	} {
-		sts, err := pickStrategies(name)
+		sts, err := pickStrategies(name, 500)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -73,11 +74,21 @@ func TestPickStrategies(t *testing.T) {
 			t.Errorf("%s: %d strategies, want %d", name, len(sts), want)
 		}
 	}
-	_, err := pickStrategies("bogus")
+	_, err := pickStrategies("bogus", 0)
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
 	if !strings.Contains(err.Error(), "online-firstfit") {
 		t.Errorf("error does not list registered strategies: %v", err)
+	}
+	// Naming the admission-control strategy without a budget would
+	// silently degenerate to BestFit; it must be refused instead.
+	if _, err := pickStrategies("online-budget", 0); err == nil {
+		t.Error("online-budget accepted without -budget")
+	}
+	// Without a budget "all" drops the admission-control strategy rather
+	// than printing a row that is silently plain BestFit.
+	if sts, err := pickStrategies("all", 0); err != nil || len(sts) != 4 {
+		t.Errorf("all without budget = (%d, %v), want 4 strategies", len(sts), err)
 	}
 }

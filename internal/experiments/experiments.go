@@ -3,7 +3,7 @@
 // implemented algorithm against the exact oracle or against the paper's
 // closed-form predictions on seeded workloads.
 //
-// The experiment set is indexed E1…E16 as laid out in DESIGN.md §3. Both
+// The experiment set is indexed E1…E17 as laid out in DESIGN.md §3. Both
 // cmd/experiments and the root-level benchmarks drive these entry points,
 // so the published numbers are regenerable with either `go test -bench` or
 // the standalone binary.
@@ -27,6 +27,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/job"
 	"repro/internal/localsearch"
+	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/rect"
 	"repro/internal/registry"
@@ -767,6 +768,75 @@ func E16(seeds int) Result {
 	}
 }
 
+// E17 measures the streaming online subsystem (beyond paper): every
+// served strategy — FirstFit, Buckets, BestFit and the weighted budgeted
+// admission control — runs twice on the same seeded weighted arrival
+// streams, once through the offline replay harness and once fed arrival
+// by arrival through an incremental online.Session (the state behind
+// busyd's POST /v1/stream). The streamed run's final cost, Observation
+// 2.1 lower bound and empirical competitive ratio must agree exactly
+// with the offline replay's; the experiment panics on any divergence, so
+// the streaming path can never silently drift from the reference
+// harness. The table reports the (identical) mean ratios plus the
+// admission behaviour of the budgeted strategy.
+func E17(seeds int) Result {
+	cfg := workload.Config{N: 300, G: 4, MaxTime: 1500, MaxLen: 60}
+	builders := []struct {
+		name string
+		mk   func(budget int64) online.Strategy
+	}{
+		{"online-firstfit", func(int64) online.Strategy { return online.FirstFit() }},
+		{"online-buckets", func(int64) online.Strategy { return online.Buckets() }},
+		{"online-bestfit", func(int64) online.Strategy { return online.BestFit() }},
+		{"online-budget", func(budget int64) online.Strategy { return online.Budgeted(budget) }},
+	}
+	t := &stats.Table{Header: []string{"strategy", "streamed ratio", "offline ratio", "rejected %", "mismatches"}}
+	for _, b := range builders {
+		var streamed, offline, rejected []float64
+		mismatches := 0
+		for seed := 1; seed <= seeds; seed++ {
+			in := workload.WeightedArrivals(int64(seed), cfg)
+			budget := in.LowerBound() * 3 / 2 // tight enough to force rejections
+			res, err := online.Replay(in, b.mk(budget))
+			if err != nil {
+				panic(err)
+			}
+			want := res.Summarize()
+
+			sess, err := online.NewSession(in.G, b.mk(budget))
+			if err != nil {
+				panic(err)
+			}
+			for _, j := range in.SortedByStart().Jobs {
+				if _, err := sess.Offer(j); err != nil {
+					panic(err)
+				}
+			}
+			got := sess.Summary()
+			if got != want {
+				mismatches++
+			}
+			streamed = append(streamed, got.Ratio)
+			offline = append(offline, want.Ratio)
+			rejected = append(rejected, 100*float64(got.Rejected)/float64(got.Arrivals))
+		}
+		sMean, _ := ratioStats(streamed)
+		oMean, _ := ratioStats(offline)
+		rMean, _ := ratioStats(rejected)
+		t.Add(b.name, fmt.Sprintf("%.4f", sMean), fmt.Sprintf("%.4f", oMean), fmt.Sprintf("%.1f", rMean), mismatches)
+		if mismatches > 0 {
+			panic(fmt.Sprintf("E17: %s: %d of %d streamed sessions diverge from the offline replay", b.name, mismatches, seeds))
+		}
+	}
+	return Result{
+		ID:    "E17",
+		Title: "streamed vs offline-replayed competitive ratios (beyond paper)",
+		Claim: "feeding arrivals through an incremental session reproduces the offline replay harness exactly, for every strategy including budgeted admission control",
+		Table: t,
+		Notes: []string{fmt.Sprintf("weighted arrival streams, n=%d g=%d, budget = 1.5·LB for online-budget", cfg.N, cfg.G)},
+	}
+}
+
 func treeLaminarTrial(seed int64) (tree.Assignment, int64) {
 	// Line of 30 unit edges, requests all anchored at node 0.
 	edges := make([]tree.Edge, 30)
@@ -835,6 +905,7 @@ func All() []Result {
 	return []Result{
 		E1(Seeds), E2(Seeds), E3(Seeds), E4(Seeds), E5(), E6(10),
 		E7(Seeds), E8(30), E9(Seeds), E10(30), E11(Seeds), E13(20), E14(30), E15(30), E16(3),
+		E17(10),
 	}
 }
 

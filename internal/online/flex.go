@@ -149,12 +149,12 @@ func FlexReplay(g int, flex []FlexJob, pol StartPolicy, st Strategy) (Result, er
 		if err != nil {
 			return Result{}, fmt.Errorf("online: start policy %s: %v", pol.Name(), err)
 		}
-		m, err := sim.place(rigid, st)
+		pl, err := sim.place(rigid, st)
 		if err != nil {
 			return Result{}, err
 		}
 		committed[p] = rigid
-		machine[p] = m
+		machine[p] = pl.Machine
 	}
 
 	in := job.Instance{Jobs: committed, G: g}
@@ -163,7 +163,11 @@ func FlexReplay(g int, flex []FlexJob, pol StartPolicy, st Strategy) (Result, er
 	}
 	s := core.NewSchedule(in)
 	for p, m := range machine {
-		s.Assign(p, m)
+		// A rejected flexible job stays committed (its rigid interval is
+		// part of the replayed instance) but unscheduled.
+		if m != RejectJob {
+			s.Assign(p, m)
+		}
 	}
 	return sim.result(s, pol.Name()+"+"+st.Name()), nil
 }

@@ -75,6 +75,16 @@ func (m *Machine) Fits(iv interval.Interval) bool {
 	return len(m.threads) < m.g
 }
 
+// MarginalCost returns the busy time placing iv on the machine would add:
+// the growth of the machine's busy hull. For arrival-ordered rigid streams
+// every machine's busy period is contiguous (each arrival starts before
+// the machine's busy end), so the hull growth is exactly the cost growth;
+// BestFit and the budgeted admission control both price placements with
+// it. Opening a fresh machine costs iv.Len().
+func (m *Machine) MarginalCost(iv interval.Interval) int64 {
+	return m.busy.Hull(iv).Len() - m.busy.Len()
+}
+
 // add places iv on the first accepting thread, opening a new thread when
 // permitted. It reports whether the placement succeeded.
 func (m *Machine) add(iv interval.Interval) bool {
@@ -99,10 +109,22 @@ func (m *Machine) extend(iv interval.Interval) {
 	m.jobs++
 }
 
+// Pick sentinels: any negative index other than RejectJob opens a fresh
+// machine; RejectJob declines the arrival entirely (admission control).
+const (
+	// OpenMachine asks the harness to open a fresh machine for the job.
+	OpenMachine = -1
+	// RejectJob declines the arrival: the job is never scheduled. Only
+	// admission-control strategies (Budgeted) return it; the harness
+	// records the rejection and charges no busy time.
+	RejectJob = -2
+)
+
 // Strategy is an online placement policy. For each arriving job, Pick
 // inspects the currently-open machines and returns either the index into
-// open of the machine to extend, or a negative index to open a fresh
-// machine labeled tag. Picking a machine the job does not fit on is a
+// open of the machine to extend, OpenMachine (or any other negative index
+// except RejectJob) to open a fresh machine labeled tag, or RejectJob to
+// decline the arrival. Picking a machine the job does not fit on is a
 // strategy bug and fails the replay.
 type Strategy interface {
 	// Name identifies the strategy in reports and CLI output.
@@ -112,10 +134,21 @@ type Strategy interface {
 	Pick(open []*Machine, j job.Job) (idx int, tag int64)
 }
 
+// BudgetSetter is implemented by admission-control strategies whose
+// rejection rule depends on a busy-time budget; the Solver and the
+// streaming endpoint pass the request's budget through it before the
+// first arrival.
+type BudgetSetter interface {
+	Strategy
+	// SetBudget installs the busy-time budget; <= 0 means unlimited.
+	SetBudget(budget int64)
+}
+
 // Result captures one online run.
 type Result struct {
 	// Schedule is the committed assignment over the replayed instance; it
-	// always passes Validate and schedules every job.
+	// always passes Validate and schedules every admitted job (every job,
+	// unless the strategy applies admission control).
 	Schedule core.Schedule
 	// Strategy is the name of the policy that produced the run.
 	Strategy string
@@ -125,6 +158,13 @@ type Result struct {
 	MachinesOpened int
 	// PeakOpen is the maximum number of simultaneously open machines.
 	PeakOpen int
+	// Rejected counts arrivals declined by admission control (0 for the
+	// non-rejecting strategies).
+	Rejected int
+	// AdmittedWeight and RejectedWeight split the stream's total weight
+	// by the admission decision.
+	AdmittedWeight int64
+	RejectedWeight int64
 }
 
 // CompetitiveVs returns Cost/offline, the empirical competitive ratio
@@ -149,24 +189,46 @@ func Replay(in job.Instance, st Strategy) (Result, error) {
 	s := core.NewSchedule(in)
 	for _, p := range arrivalOrder(in.Jobs) {
 		sim.advance(in.Jobs[p].Start())
-		m, err := sim.place(in.Jobs[p], st)
+		pl, err := sim.place(in.Jobs[p], st)
 		if err != nil {
 			return Result{}, err
 		}
-		s.Assign(p, m)
+		if !pl.Rejected {
+			s.Assign(p, pl.Machine)
+		}
 	}
 	return sim.result(s, st.Name()), nil
 }
 
-// simulator is the event-driven machine state shared by Replay and
-// FlexReplay: the clock advances with arrivals, machines close as the
+// Placement describes how the harness routed one arrival: the machine it
+// was committed to (with whether that machine was freshly opened), the
+// busy time the placement added, or the rejection verdict.
+type Placement struct {
+	// Machine is the committed machine's id, or RejectJob when rejected.
+	Machine int
+	// Opened reports whether the placement opened a fresh machine.
+	Opened bool
+	// Rejected reports an admission-control rejection; no busy time is
+	// charged and Machine is RejectJob.
+	Rejected bool
+	// Marginal is the busy time the placement added: the job's length for
+	// a fresh machine, the busy-period extension for a reused one, 0 for
+	// a rejection.
+	Marginal int64
+}
+
+// simulator is the event-driven machine state shared by Replay, FlexReplay
+// and Session: the clock advances with arrivals, machines close as the
 // clock passes their busy end, and each placement goes through a Strategy.
 type simulator struct {
-	g        int
-	clock    int64
-	open     []*Machine
-	opened   int
-	peakOpen int
+	g              int
+	clock          int64
+	open           []*Machine
+	opened         int
+	peakOpen       int
+	rejected       int
+	admittedWeight int64
+	rejectedWeight int64
 }
 
 func newSimulator(g int) *simulator {
@@ -188,20 +250,27 @@ func (sim *simulator) advance(t int64) {
 }
 
 // place routes one arriving job through the strategy and returns the
-// machine index it was committed to. The caller advances the clock to the
-// arrival time first; place itself does not touch the clock, because a
-// flexible job may commit a start later than the current release.
-func (sim *simulator) place(j job.Job, st Strategy) (int, error) {
+// resulting placement. The caller advances the clock to the arrival time
+// first; place itself does not touch the clock, because a flexible job
+// may commit a start later than the current release.
+func (sim *simulator) place(j job.Job, st Strategy) (Placement, error) {
 	idx, tag := st.Pick(sim.open, j)
 	if idx >= len(sim.open) {
-		return 0, fmt.Errorf("online: strategy %s picked machine index %d with %d open", st.Name(), idx, len(sim.open))
+		return Placement{}, fmt.Errorf("online: strategy %s picked machine index %d with %d open", st.Name(), idx, len(sim.open))
 	}
+	if idx == RejectJob {
+		sim.rejected++
+		sim.rejectedWeight += j.Weight
+		return Placement{Machine: RejectJob, Rejected: true}, nil
+	}
+	sim.admittedWeight += j.Weight
 	if idx >= 0 {
 		m := sim.open[idx]
+		marginal := m.MarginalCost(j.Interval)
 		if !m.add(j.Interval) {
-			return 0, fmt.Errorf("online: strategy %s picked machine %d, but job %v does not fit", st.Name(), m.id, j)
+			return Placement{}, fmt.Errorf("online: strategy %s picked machine %d, but job %v does not fit", st.Name(), m.id, j)
 		}
-		return m.id, nil
+		return Placement{Machine: m.id, Marginal: marginal}, nil
 	}
 	m := &Machine{id: sim.opened, tag: tag, g: sim.g}
 	m.add(j.Interval)
@@ -210,7 +279,7 @@ func (sim *simulator) place(j job.Job, st Strategy) (int, error) {
 	if len(sim.open) > sim.peakOpen {
 		sim.peakOpen = len(sim.open)
 	}
-	return m.id, nil
+	return Placement{Machine: m.id, Opened: true, Marginal: j.Interval.Len()}, nil
 }
 
 func (sim *simulator) result(s core.Schedule, name string) Result {
@@ -220,6 +289,9 @@ func (sim *simulator) result(s core.Schedule, name string) Result {
 		Cost:           s.Cost(),
 		MachinesOpened: sim.opened,
 		PeakOpen:       sim.peakOpen,
+		Rejected:       sim.rejected,
+		AdmittedWeight: sim.admittedWeight,
+		RejectedWeight: sim.rejectedWeight,
 	}
 }
 

@@ -12,10 +12,12 @@ import (
 type Report struct {
 	// Strategy names the online policy.
 	Strategy string `json:"strategy"`
-	// Cost, Machines and PeakOpen summarize the online run.
+	// Cost, Machines and PeakOpen summarize the online run; Rejected
+	// counts arrivals declined by admission control.
 	Cost     int64 `json:"cost"`
 	Machines int   `json:"machines"`
 	PeakOpen int   `json:"peak_open"`
+	Rejected int   `json:"rejected,omitempty"`
 	// OfflineCost is core.MinBusyAuto's cost and OfflineAlg its algorithm
 	// name — the strongest polynomial offline baseline for the class.
 	OfflineCost int64  `json:"offline_cost"`
@@ -77,6 +79,7 @@ func Compare(in job.Instance, strategies ...Strategy) ([]Report, error) {
 			Cost:        res.Cost,
 			Machines:    res.MachinesOpened,
 			PeakOpen:    res.PeakOpen,
+			Rejected:    res.Rejected,
 			OfflineCost: offlineCost,
 			OfflineAlg:  offlineAlg,
 			ExactCost:   exactCost,

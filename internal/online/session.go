@@ -1,0 +1,245 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/job"
+	"repro/internal/stats"
+)
+
+// RatioTracker maintains the Observation 2.1 lower bound, the running
+// busy-time cost and their ratio incrementally, one admitted arrival at a
+// time — the per-event counterpart of Report's post-hoc computation, so a
+// streaming session can attach a live competitive ratio to every event
+// without retaining the jobs.
+//
+// Observe requires non-decreasing start times (the arrival order Session
+// enforces): under that order the union of admitted intervals grows at a
+// single frontier, so span(J) is maintainable in O(1) per event, and every
+// machine's busy period stays contiguous, so summing placement marginals
+// reproduces Schedule.Cost exactly.
+type RatioTracker struct {
+	g        int64
+	totalLen int64 // Σ len over admitted jobs (parallelism bound numerator)
+	covered  int64 // measure of the union of admitted intervals
+	frontier int64 // right edge of the union seen so far
+	started  bool
+	cost     int64 // Σ placement marginals = total busy time
+}
+
+// NewRatioTracker returns a tracker for capacity g (g >= 1).
+func NewRatioTracker(g int) *RatioTracker {
+	if g < 1 {
+		panic(fmt.Sprintf("online: NewRatioTracker(%d): need g >= 1", g))
+	}
+	return &RatioTracker{g: int64(g)}
+}
+
+// Observe records one admitted arrival: its interval (start must be >= every
+// earlier observed start) and the busy time its placement added.
+func (t *RatioTracker) Observe(iv interval.Interval, marginal int64) {
+	t.totalLen += iv.Len()
+	t.cost += marginal
+	switch {
+	case !t.started:
+		t.covered = iv.Len()
+		t.frontier = iv.End
+		t.started = true
+	case iv.Start >= t.frontier:
+		t.covered += iv.Len()
+		t.frontier = iv.End
+	case iv.End > t.frontier:
+		t.covered += iv.End - t.frontier
+		t.frontier = iv.End
+	}
+}
+
+// Cost returns the running busy time of the committed placements.
+func (t *RatioTracker) Cost() int64 { return t.cost }
+
+// LowerBound returns max(⌈len/g⌉, span) over the admitted arrivals so far —
+// Observation 2.1 applied to the prefix.
+func (t *RatioTracker) LowerBound() int64 {
+	pb := (t.totalLen + t.g - 1) / t.g
+	if t.covered > pb {
+		return t.covered
+	}
+	return pb
+}
+
+// Ratio returns Cost/LowerBound, the live empirical competitive ratio
+// against the Observation 2.1 bound (1 when nothing is admitted yet).
+func (t *RatioTracker) Ratio() float64 { return stats.Ratio(t.cost, t.LowerBound()) }
+
+// Event is one streamed arrival's outcome: the admission decision, the
+// placement, and the running cost/lower-bound/ratio telemetry after it.
+type Event struct {
+	// Seq numbers the arrival within its session, starting at 0.
+	Seq int
+	// JobID echoes the arrival's id.
+	JobID int
+	// Rejected reports an admission-control rejection; Machine is
+	// RejectJob and Marginal 0.
+	Rejected bool
+	// Machine is the committed machine id (opening order), RejectJob on
+	// rejection.
+	Machine int
+	// Opened reports whether the placement opened a fresh machine (false
+	// when an open machine was reused or the job was rejected).
+	Opened bool
+	// Marginal is the busy time this placement added.
+	Marginal int64
+	// Cost, LowerBound and Ratio are the running totals after the event.
+	Cost       int64
+	LowerBound int64
+	Ratio      float64
+	// Open counts machines open after the event.
+	Open int
+}
+
+// Summary is a session's closing report — the streamed counterpart of the
+// final line of a Replay-based run, with the lower bound and ratio taken
+// over the admitted arrivals.
+type Summary struct {
+	Strategy       string
+	Arrivals       int
+	Admitted       int
+	Rejected       int
+	AdmittedWeight int64
+	RejectedWeight int64
+	Cost           int64
+	MachinesOpened int
+	PeakOpen       int
+	LowerBound     int64
+	Ratio          float64
+}
+
+// Session is an incremental online run: arrivals are offered one at a
+// time, each returning its placement event with live telemetry, instead
+// of replaying a complete instance. It backs the daemon's streaming
+// endpoint; the hot path allocates only when a machine opens, and the
+// session retains no per-job state beyond the open machines.
+//
+// A Session is not safe for concurrent use; the streaming server drives
+// one per connection.
+type Session struct {
+	sim       *simulator
+	st        Strategy
+	tracker   *RatioTracker
+	arrivals  int
+	lastStart int64
+}
+
+// NewSession starts a session with capacity g feeding the strategy. Like
+// a Budgeted value, a Session is single-use: strategies carry state, so
+// build a fresh strategy per session.
+func NewSession(g int, st Strategy) (*Session, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("online: capacity g = %d, need g >= 1", g)
+	}
+	if st == nil {
+		return nil, fmt.Errorf("online: session needs a strategy")
+	}
+	return &Session{sim: newSimulator(g), st: st, tracker: NewRatioTracker(g)}, nil
+}
+
+// Offer feeds one arrival through the strategy and returns its event. It
+// errors on structurally invalid jobs, on out-of-order arrivals (starts
+// must be non-decreasing — the defining property of an arrival stream,
+// and what keeps the incremental cost and bound accounting exact), and on
+// strategy bugs; after an error the session is no longer usable.
+func (s *Session) Offer(j job.Job) (Event, error) {
+	if j.Interval.Empty() {
+		return Event{}, fmt.Errorf("online: arrival %d has empty interval %v", j.ID, j.Interval)
+	}
+	if j.Weight < 1 {
+		return Event{}, fmt.Errorf("online: arrival %d has weight %d, need >= 1", j.ID, j.Weight)
+	}
+	if s.arrivals > 0 && j.Start() < s.lastStart {
+		return Event{}, fmt.Errorf("online: arrival %d starts at %d before the stream clock %d", j.ID, j.Start(), s.lastStart)
+	}
+	s.lastStart = j.Start()
+	s.sim.advance(j.Start())
+	pl, err := s.sim.place(j, s.st)
+	if err != nil {
+		return Event{}, err
+	}
+	seq := s.arrivals
+	s.arrivals++
+	if !pl.Rejected {
+		s.tracker.Observe(j.Interval, pl.Marginal)
+	}
+	return Event{
+		Seq:        seq,
+		JobID:      j.ID,
+		Rejected:   pl.Rejected,
+		Machine:    pl.Machine,
+		Opened:     pl.Opened,
+		Marginal:   pl.Marginal,
+		Cost:       s.tracker.Cost(),
+		LowerBound: s.tracker.LowerBound(),
+		Ratio:      s.tracker.Ratio(),
+		Open:       len(s.sim.open),
+	}, nil
+}
+
+// Summary returns the session's closing report. It may be read at any
+// point; the streaming endpoint emits it once the client's arrival stream
+// ends.
+func (s *Session) Summary() Summary {
+	return Summary{
+		Strategy:       s.st.Name(),
+		Arrivals:       s.arrivals,
+		Admitted:       s.arrivals - s.sim.rejected,
+		Rejected:       s.sim.rejected,
+		AdmittedWeight: s.sim.admittedWeight,
+		RejectedWeight: s.sim.rejectedWeight,
+		Cost:           s.tracker.Cost(),
+		MachinesOpened: s.sim.opened,
+		PeakOpen:       s.sim.peakOpen,
+		LowerBound:     s.tracker.LowerBound(),
+		Ratio:          s.tracker.Ratio(),
+	}
+}
+
+// Summarize derives the Summary an equivalent streaming session would
+// close with from an offline Replay result: cost and machine statistics
+// from the run, lower bound and ratio over the admitted (scheduled) jobs.
+// The streaming e2e tests and the E17 experiment compare this against a
+// live Session byte for byte.
+func (r Result) Summarize() Summary {
+	in := r.Schedule.Instance
+	admitted := job.Instance{G: in.G}
+	var admittedW, rejectedW int64
+	// Replay always sizes Machine to the instance; a hand-built Result
+	// that does not cannot be charged per job, so every job counts as
+	// rejected (mirroring ResultOf's leniency toward malformed inputs).
+	complete := len(r.Schedule.Machine) == len(in.Jobs)
+	for i, j := range in.Jobs {
+		if complete && r.Schedule.Machine[i] != core.Unscheduled {
+			admitted.Jobs = append(admitted.Jobs, j)
+			admittedW += j.Weight
+		} else {
+			rejectedW += j.Weight
+		}
+	}
+	var lb int64
+	if len(admitted.Jobs) > 0 {
+		lb = admitted.LowerBound()
+	}
+	return Summary{
+		Strategy:       r.Strategy,
+		Arrivals:       len(in.Jobs),
+		Admitted:       len(admitted.Jobs),
+		Rejected:       len(in.Jobs) - len(admitted.Jobs),
+		AdmittedWeight: admittedW,
+		RejectedWeight: rejectedW,
+		Cost:           r.Cost,
+		MachinesOpened: r.MachinesOpened,
+		PeakOpen:       r.PeakOpen,
+		LowerBound:     lb,
+		Ratio:          stats.Ratio(r.Cost, lb),
+	}
+}

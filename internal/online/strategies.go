@@ -1,6 +1,7 @@
 package online
 
 import (
+	"math"
 	"math/bits"
 
 	"repro/internal/job"
@@ -64,4 +65,116 @@ func (buckets) Pick(open []*Machine, j job.Job) (int, int64) {
 // lenClass returns ⌈log₂ l⌉, the doubling bucket of a length l >= 1.
 func lenClass(l int64) int64 {
 	return int64(bits.Len64(uint64(l - 1)))
+}
+
+// BestFit returns the online BestFit strategy: each arriving job goes to
+// the open machine where it adds the least busy time (the smallest growth
+// of the machine's busy period), ties broken toward the lowest-numbered
+// machine, opening a fresh machine only when no open one fits. Where
+// FirstFit commits to opening order, BestFit prices every candidate by
+// marginal cost — the packing analogue of classical best-fit bin packing.
+// A placement fully inside an already-paid-for busy period is free and
+// always wins.
+func BestFit() Strategy { return bestFit{} }
+
+type bestFit struct{}
+
+func (bestFit) Name() string { return "online-bestfit" }
+
+func (bestFit) Pick(open []*Machine, j job.Job) (int, int64) {
+	idx, _ := cheapestFit(open, j)
+	return idx, 0
+}
+
+// cheapestFit returns the index of the fitting open machine with minimal
+// marginal busy time (ties to the lowest index) and that cost, or
+// (OpenMachine, j.Len()) when no open machine fits.
+func cheapestFit(open []*Machine, j job.Job) (int, int64) {
+	best, bestCost := OpenMachine, j.Len()
+	for i, m := range open {
+		if !m.Fits(j.Interval) {
+			continue
+		}
+		if c := m.MarginalCost(j.Interval); best == OpenMachine || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best, bestCost
+}
+
+// Budgeted returns the weighted admission-control strategy for arrivals
+// carrying throughput weights: placements follow BestFit, but an arrival
+// is admitted only while the session's busy-time budget can sustain it.
+// A job of weight w whose cheapest placement would add marginal busy time
+// c is rejected when c exceeds the job's share of the remaining budget —
+// that is, when the marginal busy time per unit of the job's weight,
+// c / w, exceeds the remaining budget per unit of then-admitted weight,
+// B / (W + w) (B the remaining budget, W the weight admitted so far).
+// Heavier arrivals may claim proportionally more of what is left, the
+// test tightens as the budget drains relative to admitted weight, and
+// c ≤ B·w/(W+w) ≤ B guarantees the budget is never overspent. With no
+// budget (SetBudget(0) or never set) nothing is rejected and the
+// strategy degenerates to BestFit.
+//
+// A Budgeted strategy is stateful (it tracks spend across Pick calls):
+// use a fresh value per replay or session, never share one across runs.
+func Budgeted(budget int64) BudgetSetter {
+	b := &budgeted{}
+	b.SetBudget(budget)
+	return b
+}
+
+type budgeted struct {
+	limited        bool
+	remaining      int64
+	admittedWeight int64
+}
+
+func (b *budgeted) Name() string { return "online-budget" }
+
+// SetBudget installs the busy-time budget; <= 0 means unlimited. It
+// resets the admission state, so it must be called before the first
+// arrival, not mid-stream.
+func (b *budgeted) SetBudget(budget int64) {
+	b.limited = budget > 0
+	b.remaining = budget
+	b.admittedWeight = 0
+}
+
+func (b *budgeted) Pick(open []*Machine, j job.Job) (int, int64) {
+	idx, cost := cheapestFit(open, j)
+	w := j.Weight
+	if w < 1 {
+		w = 1
+	}
+	if b.limited {
+		// Admit iff c·(W+w) ≤ B·w, compared exactly in 128 bits: at the
+		// wire caps (lengths and weights up to 2^40) the products can
+		// pass 2^53, where a float64 comparison could round in the
+		// admitting direction and break the never-overspends guarantee.
+		if mulGreater(cost, saturatingAdd(b.admittedWeight, w), b.remaining, w) {
+			return RejectJob, 0
+		}
+		b.remaining -= cost
+	}
+	b.admittedWeight = saturatingAdd(b.admittedWeight, w)
+	return idx, 0
+}
+
+// mulGreater reports a·b > c·d exactly for non-negative int64 operands,
+// via 128-bit products.
+func mulGreater(a, b, c, d int64) bool {
+	hi1, lo1 := bits.Mul64(uint64(a), uint64(b))
+	hi2, lo2 := bits.Mul64(uint64(c), uint64(d))
+	return hi1 > hi2 || (hi1 == hi2 && lo1 > lo2)
+}
+
+// saturatingAdd adds non-negative int64s, clamping at MaxInt64: an
+// admitted-weight total that large only tightens the admission test, so
+// clamping errs toward rejection instead of wrapping around.
+func saturatingAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
 }

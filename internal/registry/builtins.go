@@ -203,4 +203,15 @@ func init() {
 		Guarantee: "empirical (Ω(g) adversarial lower bound)", Ref: "online FirstFit", Strength: 20,
 		NewStrategy: online.FirstFit,
 	})
+	MustRegister(Algorithm{
+		Name: "online-bestfit", Aliases: []string{"bestfit"}, Kind: Online,
+		Guarantee: "empirical (marginal-cost greedy)", Ref: "online BestFit (min busy-time extension)", Strength: 30,
+		NewStrategy: online.BestFit,
+	})
+	MustRegister(Algorithm{
+		Name: "online-budget", Aliases: []string{"budget", "admission"}, Kind: Online,
+		Guarantee: "empirical (BestFit + weighted budget admission; never overspends)",
+		Ref:       "weighted online throughput with admission control (Section 5 weights)", Strength: 5,
+		NewStrategy: func() online.Strategy { return online.Budgeted(0) },
+	})
 }

@@ -83,7 +83,7 @@ func TestRegistryForStrongest(t *testing.T) {
 		{registry.MaxThroughput, igraph.Proper, "greedy-throughput"},
 		{registry.MaxThroughput, igraph.General, "greedy-throughput"},
 		{registry.MinBusy2D, igraph.General, "bucket-first-fit"},
-		{registry.Online, igraph.General, "online-firstfit"},
+		{registry.Online, igraph.General, "online-bestfit"},
 	}
 	for _, c := range cases {
 		got, err := registry.For(c.kind, c.class)
@@ -239,7 +239,7 @@ func TestRegistryKindStrings(t *testing.T) {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
 		}
 	}
-	if names := registry.Names(registry.Online); len(names) != 3 {
-		t.Errorf("online names = %v, want 3 strategies", names)
+	if names := registry.Names(registry.Online); len(names) != 5 {
+		t.Errorf("online names = %v, want 5 strategies", names)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -16,6 +17,14 @@ var latencyBounds = []float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// eventLatencyBounds bucket per-arrival stream event handling, which sits
+// well under the solve-latency range: a single placement is a treap probe
+// over the open machines, not a whole instance solve.
+var eventLatencyBounds = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.1,
+}
+
 // batchSizeBounds bucket the number of requests per batch.
 var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
@@ -26,7 +35,6 @@ type histogram struct {
 	counts []atomic.Int64 // len(bounds)+1, last is +Inf
 	sum    atomic.Int64   // scaled observations (nanoseconds / raw counts)
 	scale  float64        // divides sum on render (1e9 for nanoseconds)
-	n      atomic.Int64
 }
 
 func newHistogram(bounds []float64, scale float64) *histogram {
@@ -38,20 +46,41 @@ func (h *histogram) observe(v float64, raw int64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.sum.Add(raw)
-	h.n.Add(1)
 }
 
-// writeTo renders the cumulative buckets under the given metric name.
-func (h *histogram) writeTo(w io.Writer, name string) {
+// writeTo renders the cumulative buckets under the given metric name,
+// with labels ("" or a `key="value"` list without braces) applied to
+// every sample. The per-bucket counters are snapshotted first and the
+// total is derived from that one snapshot, so the exposition is always
+// internally consistent: buckets are monotonically non-decreasing and
+// the +Inf bucket equals _count even while observations land
+// concurrently. (Summing live atomics directly into the running
+// cumulative could otherwise render +Inf ≠ _count — not valid
+// Prometheus histogram output.)
+func (h *histogram) writeTo(w io.Writer, name, labels string) {
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum int64
 	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
 	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/h.scale)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/h.scale)
+		fmt.Fprintf(w, "%s_count %d\n", name, total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sum.Load())/h.scale)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, total)
+	}
 }
 
 func formatBound(b float64) string {
@@ -60,11 +89,13 @@ func formatBound(b float64) string {
 
 // metrics is the daemon's plain-text counter set: request counts per
 // endpoint, admission rejections, per-request error count, the in-flight
-// gauge, and latency/batch-size histograms. All fields are atomics; the
-// /metrics handler renders a consistent-enough snapshot without locks.
+// and open-stream gauges, and latency/batch-size histograms. All fields
+// are atomics (plus one mutex around the lazily-grown per-strategy map);
+// the /metrics handler renders a consistent snapshot per histogram.
 type metrics struct {
 	requestsSolve      atomic.Int64
 	requestsBatch      atomic.Int64
+	requestsStream     atomic.Int64
 	requestsAlgorithms atomic.Int64
 	requestsHealth     atomic.Int64
 	solveErrors        atomic.Int64 // per-request solve failures (single + batch items)
@@ -72,10 +103,20 @@ type metrics struct {
 	rejectedTooLarge   atomic.Int64 // 413: instance or batch size cap
 	badRequests        atomic.Int64 // 400: malformed wire input
 	inFlight           atomic.Int64
+	streamsOpen        atomic.Int64 // live /v1/stream sessions
+	streamAssigned     atomic.Int64 // stream arrivals placed on a machine
+	streamRejected     atomic.Int64 // stream arrivals declined by admission control
+	streamErrors       atomic.Int64 // streams aborted by an in-stream error event
 	batchInstances     atomic.Int64 // total requests across all batches
 	solveLatency       *histogram
 	batchLatency       *histogram
 	batchSize          *histogram
+
+	// eventLatency holds one stream-event latency histogram per online
+	// strategy, keyed by canonical name and grown lazily on first use so
+	// plugin-registered strategies are covered without a rebuild.
+	eventMu      sync.RWMutex
+	eventLatency map[string]*histogram
 }
 
 func newMetrics() *metrics {
@@ -83,6 +124,7 @@ func newMetrics() *metrics {
 		solveLatency: newHistogram(latencyBounds, 1e9),
 		batchLatency: newHistogram(latencyBounds, 1e9),
 		batchSize:    newHistogram(batchSizeBounds, 1),
+		eventLatency: map[string]*histogram{},
 	}
 }
 
@@ -96,6 +138,23 @@ func (m *metrics) observeBatch(d time.Duration, size int) {
 	m.batchInstances.Add(int64(size))
 }
 
+// observeStreamEvent records one arrival's handling latency under its
+// strategy's histogram.
+func (m *metrics) observeStreamEvent(strategy string, d time.Duration) {
+	m.eventMu.RLock()
+	h := m.eventLatency[strategy]
+	m.eventMu.RUnlock()
+	if h == nil {
+		m.eventMu.Lock()
+		if h = m.eventLatency[strategy]; h == nil {
+			h = newHistogram(eventLatencyBounds, 1e9)
+			m.eventLatency[strategy] = h
+		}
+		m.eventMu.Unlock()
+	}
+	h.observe(d.Seconds(), d.Nanoseconds())
+}
+
 // writeTo renders every counter in the Prometheus text format — plain
 // counters and gauges, no client library dependency.
 func (m *metrics) writeTo(w io.Writer) {
@@ -103,6 +162,7 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# TYPE busyd_requests_total counter\n")
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"solve\"} %d\n", m.requestsSolve.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"batch\"} %d\n", m.requestsBatch.Load())
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"stream\"} %d\n", m.requestsStream.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"algorithms\"} %d\n", m.requestsAlgorithms.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"healthz\"} %d\n", m.requestsHealth.Load())
 	fmt.Fprintf(w, "# HELP busyd_rejected_total Requests refused by admission control.\n")
@@ -113,19 +173,54 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP busyd_solve_errors_total Per-request solve failures.\n")
 	fmt.Fprintf(w, "# TYPE busyd_solve_errors_total counter\n")
 	fmt.Fprintf(w, "busyd_solve_errors_total %d\n", m.solveErrors.Load())
-	fmt.Fprintf(w, "# HELP busyd_in_flight Solve and batch requests currently admitted.\n")
+	fmt.Fprintf(w, "# HELP busyd_in_flight Solve, batch and stream requests currently admitted.\n")
 	fmt.Fprintf(w, "# TYPE busyd_in_flight gauge\n")
 	fmt.Fprintf(w, "busyd_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "# HELP busyd_streams_open Live /v1/stream sessions.\n")
+	fmt.Fprintf(w, "# TYPE busyd_streams_open gauge\n")
+	fmt.Fprintf(w, "busyd_streams_open %d\n", m.streamsOpen.Load())
+	fmt.Fprintf(w, "# HELP busyd_stream_events_total Stream arrivals by admission outcome.\n")
+	fmt.Fprintf(w, "# TYPE busyd_stream_events_total counter\n")
+	fmt.Fprintf(w, "busyd_stream_events_total{outcome=\"assigned\"} %d\n", m.streamAssigned.Load())
+	fmt.Fprintf(w, "busyd_stream_events_total{outcome=\"rejected\"} %d\n", m.streamRejected.Load())
+	fmt.Fprintf(w, "# HELP busyd_stream_errors_total Streams aborted by an error event.\n")
+	fmt.Fprintf(w, "# TYPE busyd_stream_errors_total counter\n")
+	fmt.Fprintf(w, "busyd_stream_errors_total %d\n", m.streamErrors.Load())
 	fmt.Fprintf(w, "# HELP busyd_batch_instances_total Requests received inside batches.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_instances_total counter\n")
 	fmt.Fprintf(w, "busyd_batch_instances_total %d\n", m.batchInstances.Load())
 	fmt.Fprintf(w, "# HELP busyd_solve_latency_seconds Single-solve wall clock.\n")
 	fmt.Fprintf(w, "# TYPE busyd_solve_latency_seconds histogram\n")
-	m.solveLatency.writeTo(w, "busyd_solve_latency_seconds")
+	m.solveLatency.writeTo(w, "busyd_solve_latency_seconds", "")
 	fmt.Fprintf(w, "# HELP busyd_batch_latency_seconds Whole-batch wall clock.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_latency_seconds histogram\n")
-	m.batchLatency.writeTo(w, "busyd_batch_latency_seconds")
+	m.batchLatency.writeTo(w, "busyd_batch_latency_seconds", "")
 	fmt.Fprintf(w, "# HELP busyd_batch_size Requests per batch.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_size histogram\n")
-	m.batchSize.writeTo(w, "busyd_batch_size")
+	m.batchSize.writeTo(w, "busyd_batch_size", "")
+
+	// Snapshot the per-strategy histogram pointers before rendering:
+	// writing to w can block on a slow scraper, and holding eventMu
+	// through that would let a queued writer in observeStreamEvent stall
+	// every stream session's per-arrival hot path behind the scrape. The
+	// histograms themselves are atomic and never removed, so rendering
+	// outside the lock is safe.
+	type namedHistogram struct {
+		name string
+		h    *histogram
+	}
+	m.eventMu.RLock()
+	strategies := make([]namedHistogram, 0, len(m.eventLatency))
+	for name, h := range m.eventLatency {
+		strategies = append(strategies, namedHistogram{name, h})
+	}
+	m.eventMu.RUnlock()
+	sort.Slice(strategies, func(i, j int) bool { return strategies[i].name < strategies[j].name })
+	if len(strategies) > 0 {
+		fmt.Fprintf(w, "# HELP busyd_stream_event_latency_seconds Per-arrival stream event handling, by strategy.\n")
+		fmt.Fprintf(w, "# TYPE busyd_stream_event_latency_seconds histogram\n")
+		for _, s := range strategies {
+			s.h.writeTo(w, "busyd_stream_event_latency_seconds", fmt.Sprintf("strategy=%q", s.name))
+		}
+	}
 }

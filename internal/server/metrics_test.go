@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// parseExposition splits Prometheus text output into sample lines,
+// returning name{labels} -> value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// checkHistogram asserts the Prometheus histogram invariants for one
+// metric (with optional labels, given without the le pair): cumulative
+// buckets are monotonically non-decreasing, the +Inf bucket is present,
+// and its count equals _count.
+func checkHistogram(t *testing.T, samples map[string]float64, name, labels string) {
+	t.Helper()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	buckets := 0
+	var inf float64
+	hasInf := false
+	for key, v := range samples {
+		if !strings.HasPrefix(key, name+"_bucket{"+labels+sep+"le=") {
+			continue
+		}
+		buckets++
+		if strings.Contains(key, `le="+Inf"`) {
+			inf, hasInf = v, true
+		}
+	}
+	if buckets == 0 {
+		t.Fatalf("histogram %s{%s}: no buckets rendered", name, labels)
+	}
+	if !hasInf {
+		t.Fatalf("histogram %s{%s}: no +Inf bucket", name, labels)
+	}
+	countKey := name + "_count"
+	if labels != "" {
+		countKey = name + "_count{" + labels + "}"
+	}
+	count, ok := samples[countKey]
+	if !ok {
+		t.Fatalf("histogram %s{%s}: no _count sample", name, labels)
+	}
+	if inf != count {
+		t.Errorf("histogram %s{%s}: +Inf bucket %g != _count %g", name, labels, inf, count)
+	}
+}
+
+// checkHistogramMonotone walks the exposition text in order and checks
+// each histogram's cumulative buckets never decrease.
+func checkHistogramMonotone(t *testing.T, text string) {
+	t.Helper()
+	prevByName := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.Contains(line, "_bucket{") {
+			continue
+		}
+		name := line[:strings.Index(line, "_bucket{")]
+		// Per-strategy histograms are separate series; key by name+labels
+		// minus the le pair.
+		labels := line[strings.Index(line, "{"):strings.LastIndex(line, " ")]
+		le := strings.Index(labels, "le=")
+		series := name + labels[:le]
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[strings.LastIndex(line, " ")+1:]), 64)
+		if err != nil {
+			t.Fatalf("malformed bucket line %q: %v", line, err)
+		}
+		if prev, ok := prevByName[series]; ok && v < prev {
+			t.Errorf("histogram series %s: bucket fell %g -> %g (%q)", series, prev, v, line)
+		}
+		prevByName[series] = v
+	}
+}
+
+// TestMetricsHistogramExposition renders /metrics after a spread of
+// observations and checks Prometheus-text conformance: every histogram's
+// buckets are cumulative (monotonically non-decreasing) and end in a
+// +Inf bucket whose count equals _count.
+func TestMetricsHistogramExposition(t *testing.T) {
+	m := newMetrics()
+	durations := []time.Duration{
+		50 * time.Microsecond, 300 * time.Microsecond, time.Millisecond,
+		7 * time.Millisecond, 80 * time.Millisecond, 2 * time.Second, time.Minute, // past the last bound
+	}
+	for _, d := range durations {
+		m.observeSolve(d)
+		m.observeBatch(d, 3)
+	}
+	m.observeBatch(time.Millisecond, 10000) // past the last batch-size bound
+	for i := 0; i < 5; i++ {
+		m.observeStreamEvent("online-bestfit", time.Duration(i+1)*time.Microsecond)
+		m.observeStreamEvent("online-budget", time.Second)
+	}
+
+	var buf bytes.Buffer
+	m.writeTo(&buf)
+	text := buf.String()
+	samples := parseExposition(t, text)
+	checkHistogram(t, samples, "busyd_solve_latency_seconds", "")
+	checkHistogram(t, samples, "busyd_batch_latency_seconds", "")
+	checkHistogram(t, samples, "busyd_batch_size", "")
+	checkHistogram(t, samples, "busyd_stream_event_latency_seconds", `strategy="online-bestfit"`)
+	checkHistogram(t, samples, "busyd_stream_event_latency_seconds", `strategy="online-budget"`)
+	checkHistogramMonotone(t, text)
+
+	if got := samples[`busyd_solve_latency_seconds_count`]; got != float64(len(durations)) {
+		t.Errorf("solve latency count %g, want %d", got, len(durations))
+	}
+}
+
+// TestMetricsHistogramConsistentUnderConcurrency hammers a histogram from
+// writers while rendering it, re-checking the +Inf == _count invariant on
+// every render: the exposition must snapshot, not sum live counters into
+// a drifting total.
+func TestMetricsHistogramConsistentUnderConcurrency(t *testing.T) {
+	m := newMetrics()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					m.observeSolve(time.Duration(i%1000) * time.Microsecond)
+				}
+			}
+		}(w)
+	}
+	for render := 0; render < 200; render++ {
+		var buf bytes.Buffer
+		m.writeTo(&buf)
+		samples := parseExposition(t, buf.String())
+		inf := samples[`busyd_solve_latency_seconds_bucket{le="+Inf"}`]
+		count := samples[`busyd_solve_latency_seconds_count`]
+		if inf != count {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("render %d: +Inf bucket %g != _count %g under concurrent observes", render, inf, count)
+		}
+		checkHistogramMonotone(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMetricsStreamCounters checks the new stream gauges/counters render.
+func TestMetricsStreamCounters(t *testing.T) {
+	m := newMetrics()
+	m.requestsStream.Add(3)
+	m.streamsOpen.Add(2)
+	m.streamAssigned.Add(41)
+	m.streamRejected.Add(1)
+	var buf bytes.Buffer
+	m.writeTo(&buf)
+	samples := parseExposition(t, buf.String())
+	for key, want := range map[string]float64{
+		`busyd_requests_total{endpoint="stream"}`:       3,
+		"busyd_streams_open":                            2,
+		`busyd_stream_events_total{outcome="assigned"}`: 41,
+		`busyd_stream_events_total{outcome="rejected"}`: 1,
+		"busyd_stream_errors_total":                     0,
+	} {
+		if got := samples[key]; got != want {
+			t.Errorf("%s = %g, want %g", key, got, want)
+		}
+	}
+}

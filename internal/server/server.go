@@ -41,8 +41,9 @@ type Config struct {
 }
 
 // Server serves the Solver API over HTTP: POST /v1/solve,
-// POST /v1/solve/batch, GET /v1/algorithms, GET /healthz, GET /metrics.
-// It is safe for concurrent use.
+// POST /v1/solve/batch, POST /v1/stream (NDJSON online sessions),
+// GET /v1/algorithms, GET /healthz, GET /metrics. It is safe for
+// concurrent use.
 type Server struct {
 	cfg      Config
 	solver   *busytime.Solver
@@ -110,6 +111,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/solve/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stream", s.handleStream)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

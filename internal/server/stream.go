@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/igraph"
+	"repro/internal/online"
+	"repro/internal/registry"
+)
+
+// handleStream serves POST /v1/stream: a full-duplex NDJSON session that
+// feeds arrival events into a per-connection online strategy and emits
+// one placement event per arrival, with live cost / lower-bound /
+// competitive-ratio telemetry, then a final close report when the client
+// ends its stream.
+//
+// Protocol (one JSON value per line, both directions):
+//
+//	→ {"g":4,"strategy":"online-bestfit","budget":0}     session header
+//	→ {"id":0,"start":3,"end":9,"weight":2}              arrival events…
+//	← {"type":"assign","job_id":0,"machine":0,"opened":true,...}
+//	← {"type":"reject","job_id":7,...}                   (admission control)
+//	← {"type":"close","cost":...,"ratio":...}            on client EOF
+//
+// Header problems are plain HTTP errors (400/405/429); once the first
+// event is written the status is committed, so later failures surface as
+// a terminal {"type":"error"} event. Arrivals must carry non-decreasing
+// start times — the defining property of an online stream.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsStream.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("server: POST only"))
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+
+	// The stream shares the daemon's byte-level admission bound: without
+	// it this would be the one endpoint where a single huge JSON value
+	// (or an unbounded session) could grow memory past every other cap.
+	// MaxBodyBytes therefore also bounds a session's total request bytes;
+	// at the defaults (8 MiB, ~60 B per arrival line) it sits above the
+	// 100k-job -max-jobs cap.
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	var open StreamOpen
+	if err := dec.Decode(&open); err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("server: decoding stream header: %v", err))
+		return
+	}
+	sess, alg, err := s.newStreamSession(open)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.metrics.streamsOpen.Add(1)
+	defer s.metrics.streamsOpen.Add(-1)
+
+	// HTTP/1.x is half-duplex by default: the server closes the request
+	// body once the handler starts writing. A stream session reads
+	// arrivals and writes events on the same connection, so opt into
+	// full duplex (a no-op error on transports that already are, e.g. h2).
+	rc := http.NewResponseController(w)
+	_ = rc.EnableFullDuplex()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	emit := func(ev StreamEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false // client gone; nothing left to tell it
+		}
+		_ = rc.Flush()
+		return true
+	}
+	fail := func(err error) {
+		s.metrics.streamErrors.Add(1)
+		emit(StreamEvent{Type: StreamEventError, Error: err.Error()})
+	}
+
+	arrivals := 0
+	for {
+		var arr StreamArrival
+		if err := dec.Decode(&arr); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// A client that went away mid-stream is ordinary churn, not a
+			// bad request or a stream error; there is no one left to tell.
+			if r.Context().Err() != nil {
+				return
+			}
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.metrics.rejectedTooLarge.Add(1)
+				fail(fmt.Errorf("server: stream exceeded the request body limit of %d bytes", s.cfg.MaxBodyBytes))
+				return
+			}
+			s.metrics.badRequests.Add(1)
+			fail(fmt.Errorf("server: decoding arrival %d: %v", arrivals, err))
+			return
+		}
+		arrivals++
+		if s.cfg.MaxJobs > 0 && arrivals > s.cfg.MaxJobs {
+			s.metrics.rejectedTooLarge.Add(1)
+			fail(fmt.Errorf("server: stream of %d arrivals exceeds limit %d", arrivals, s.cfg.MaxJobs))
+			return
+		}
+		j, err := arr.ToJob()
+		if err != nil {
+			s.metrics.badRequests.Add(1)
+			fail(err)
+			return
+		}
+		start := time.Now()
+		ev, err := sess.Offer(j)
+		s.metrics.observeStreamEvent(alg, time.Since(start))
+		if err != nil {
+			s.metrics.badRequests.Add(1)
+			fail(err)
+			return
+		}
+		if ev.Rejected {
+			s.metrics.streamRejected.Add(1)
+		} else {
+			s.metrics.streamAssigned.Add(1)
+		}
+		if !emit(WireStreamEvent(ev)) {
+			return
+		}
+	}
+	emit(WireStreamClose(sess.Summary()))
+}
+
+// newStreamSession validates the stream header and builds the session:
+// capacity, resolved strategy (strongest registered when unnamed), and
+// the budget handed to admission-control strategies.
+func (s *Server) newStreamSession(open StreamOpen) (*online.Session, string, error) {
+	if open.G < 1 {
+		return nil, "", fmt.Errorf("server: stream capacity g = %d, need g >= 1", open.G)
+	}
+	if open.Budget < 0 {
+		return nil, "", fmt.Errorf("server: stream budget %d, need >= 0", open.Budget)
+	}
+	var alg registry.Algorithm
+	var err error
+	if open.Strategy == "" {
+		alg, err = registry.For(registry.Online, igraph.General)
+	} else {
+		alg, err = registry.LookupKind(registry.Online, open.Strategy)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	st := alg.NewStrategy()
+	bs, budgeted := st.(online.BudgetSetter)
+	switch {
+	case open.Budget > 0 && !budgeted:
+		return nil, "", fmt.Errorf("server: strategy %s does not support a budget (use %s)", alg.Name, "online-budget")
+	case open.Budget == 0 && budgeted:
+		// Without a budget the admission-control strategy silently
+		// degenerates to plain BestFit; refuse, like the CLI does.
+		return nil, "", fmt.Errorf("server: strategy %s needs a positive budget (it admits everything without one)", alg.Name)
+	case budgeted:
+		bs.SetBudget(open.Budget)
+	}
+	sess, err := online.NewSession(open.G, st)
+	if err != nil {
+		return nil, "", err
+	}
+	return sess, alg.Name, nil
+}

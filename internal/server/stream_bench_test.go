@@ -1,0 +1,57 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkStreamSession measures one full /v1/stream session end to end
+// over real HTTP: 256 arrivals streamed in, 256 assignment events plus
+// the close report streamed back. It is the serving-layer counterpart of
+// BenchmarkSolveBatch; CI uploads both so the streamed and batched paths
+// are tracked side by side.
+func BenchmarkStreamSession(b *testing.B) {
+	s, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	in := workload.Arrivals(1, workload.Config{N: 256, G: 4, MaxTime: 4000, MaxLen: 80})
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	if err := enc.Encode(StreamOpen{G: in.G, Strategy: "online-bestfit"}); err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		if err := enc.Encode(StreamArrival{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := body.Bytes()
+	client := ts.Client()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/stream", "application/x-ndjson", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %s", resp.Status)
+		}
+	}
+	b.ReportMetric(float64(len(in.Jobs))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

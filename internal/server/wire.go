@@ -14,6 +14,7 @@ import (
 
 	busytime "repro"
 	"repro/internal/job"
+	"repro/internal/online"
 	"repro/internal/registry"
 )
 
@@ -71,10 +72,60 @@ type RectJob struct {
 	End2   int64 `json:"end2"`
 }
 
-// ToRectInstance decodes and validates the wire form.
+// Wire sanity caps. Coordinates and weights beyond these bounds cannot
+// come from a legitimate client and would push the int64 cost arithmetic
+// (sums of n lengths, weight × length products in admission control)
+// toward overflow, so decoding rejects them with a structured 400 instead
+// of risking silent wraparound deeper in the solve path.
+const (
+	maxWireCoord  = int64(1) << 40
+	maxWireWeight = int64(1) << 40
+)
+
+// checkWireInterval rejects the malformed [start, end) shapes a codec
+// must never forward: end < start (interval.New panics on it — a decoded
+// request must fail, not crash the handler) and coordinates beyond the
+// sanity cap.
+func checkWireInterval(what string, id int, start, end int64) error {
+	if end < start {
+		return fmt.Errorf("server: %s %d has end %d < start %d", what, id, end, start)
+	}
+	if start < -maxWireCoord || start > maxWireCoord || end < -maxWireCoord || end > maxWireCoord {
+		return fmt.Errorf("server: %s %d has coordinates [%d, %d) outside the sane range ±2^40", what, id, start, end)
+	}
+	return nil
+}
+
+// checkWireInstance applies the wire sanity caps to a decoded 1-D
+// instance on top of the structural checks its own codec already ran.
+func checkWireInstance(in *job.Instance) error {
+	for _, j := range in.Jobs {
+		if err := checkWireInterval("job", j.ID, j.Start(), j.End()); err != nil {
+			return err
+		}
+		if j.Weight > maxWireWeight {
+			return fmt.Errorf("server: job %d has weight %d above the sane cap 2^40", j.ID, j.Weight)
+		}
+		if j.Demand > maxWireWeight {
+			return fmt.Errorf("server: job %d has demand %d above the sane cap 2^40", j.ID, j.Demand)
+		}
+	}
+	return nil
+}
+
+// ToRectInstance decodes and validates the wire form. Both dimensions are
+// checked here before any rect is constructed: job.NewRectJob panics on
+// end < start, so a malformed wire rectangle must be rejected at the
+// codec, not discovered as a handler crash.
 func (r RectInstance) ToRectInstance() (job.RectInstance, error) {
 	in := job.RectInstance{G: r.G, Jobs: make([]job.RectJob, len(r.Jobs))}
 	for i, j := range r.Jobs {
+		if err := checkWireInterval("rect job (dimension 1)", j.ID, j.Start1, j.End1); err != nil {
+			return job.RectInstance{}, err
+		}
+		if err := checkWireInterval("rect job (dimension 2)", j.ID, j.Start2, j.End2); err != nil {
+			return job.RectInstance{}, err
+		}
 		in.Jobs[i] = job.NewRectJob(j.ID, j.Start1, j.End1, j.Start2, j.End2)
 	}
 	if err := in.Validate(); err != nil {
@@ -142,6 +193,9 @@ func (r Request) ToSolverRequest() (busytime.Request, error) {
 		if kind == busytime.KindMinBusy2D {
 			return busytime.Request{}, fmt.Errorf("server: kind %s needs a rect instance", kind)
 		}
+		if err := checkWireInstance(r.Instance); err != nil {
+			return busytime.Request{}, err
+		}
 		req.Instance = *r.Instance
 	default:
 		return busytime.Request{}, fmt.Errorf("server: request carries no instance")
@@ -178,6 +232,7 @@ type Result struct {
 	Machines         int     `json:"machines"`
 	MachinesOpened   int     `json:"machines_opened,omitempty"`
 	PeakOpen         int     `json:"peak_open,omitempty"`
+	Rejected         int     `json:"rejected,omitempty"`
 	LowerBound       int64   `json:"lower_bound"`
 	RatioVsBound     float64 `json:"ratio_vs_bound"`
 	Budget           int64   `json:"budget,omitempty"`
@@ -204,6 +259,7 @@ func WireResult(res busytime.Result) Result {
 	out.Machines = res.Machines
 	out.MachinesOpened = res.MachinesOpened
 	out.PeakOpen = res.PeakOpen
+	out.Rejected = res.Rejected
 	out.LowerBound = res.LowerBound
 	out.RatioVsBound = res.RatioVsBound
 	out.Budget = res.Budget
@@ -219,6 +275,137 @@ func WireResult(res busytime.Result) Result {
 		out.Certified = true
 	}
 	return out
+}
+
+// StreamOpen is the first NDJSON line of a POST /v1/stream session: the
+// machine capacity, the online strategy to drive (registered name or
+// alias; empty picks the strongest registered strategy), and an optional
+// busy-time budget for admission-control strategies.
+type StreamOpen struct {
+	G        int    `json:"g"`
+	Strategy string `json:"strategy,omitempty"`
+	Budget   int64  `json:"budget,omitempty"`
+}
+
+// StreamArrival is one arrival event line of a stream session: a rigid
+// job revealed at its start time. Weight defaults to 1 when omitted.
+type StreamArrival struct {
+	ID     int   `json:"id"`
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// ToJob decodes and validates the arrival under the wire sanity caps.
+func (a StreamArrival) ToJob() (job.Job, error) {
+	if err := checkWireInterval("arrival", a.ID, a.Start, a.End); err != nil {
+		return job.Job{}, err
+	}
+	if a.End <= a.Start {
+		return job.Job{}, fmt.Errorf("server: arrival %d has empty interval [%d, %d)", a.ID, a.Start, a.End)
+	}
+	w := a.Weight
+	if w == 0 {
+		w = 1
+	}
+	if w < 1 || w > maxWireWeight {
+		return job.Job{}, fmt.Errorf("server: arrival %d has weight %d outside [1, 2^40]", a.ID, a.Weight)
+	}
+	j := job.New(a.ID, a.Start, a.End)
+	j.Weight = w
+	return j, nil
+}
+
+// Stream event types, the "type" discriminator of StreamEvent.
+const (
+	// StreamEventAssign reports an arrival committed to a machine.
+	StreamEventAssign = "assign"
+	// StreamEventReject reports an arrival declined by admission control.
+	StreamEventReject = "reject"
+	// StreamEventClose carries the session's final report; it is always
+	// the last event of a successful stream.
+	StreamEventClose = "close"
+	// StreamEventError reports a fatal in-stream error; the session ends
+	// with it (the HTTP status is already committed to 200 by then).
+	StreamEventError = "error"
+)
+
+// StreamEvent is one server→client NDJSON line of a stream session:
+// exactly one assign/reject event per arrival, a final close event with
+// the session report, or a terminal error event. Assign/reject events
+// carry the placement (machine id in opening order, whether it was
+// freshly opened, the busy time it added) and the live telemetry after
+// the event: running cost, the Observation 2.1 lower bound over admitted
+// arrivals, and their ratio — the empirical competitive ratio so far.
+type StreamEvent struct {
+	Type string `json:"type"`
+	// Assign / reject fields.
+	Seq      int   `json:"seq,omitempty"`
+	JobID    int   `json:"job_id,omitempty"`
+	Machine  int   `json:"machine,omitempty"`
+	Opened   bool  `json:"opened,omitempty"`
+	Marginal int64 `json:"marginal,omitempty"`
+	Open     int   `json:"open_machines,omitempty"`
+	// Telemetry after the event (also the final totals on close).
+	Cost       int64   `json:"cost"`
+	LowerBound int64   `json:"lower_bound"`
+	Ratio      float64 `json:"ratio"`
+	// Close-only fields.
+	Strategy       string `json:"strategy,omitempty"`
+	Arrivals       int    `json:"arrivals,omitempty"`
+	Admitted       int    `json:"admitted,omitempty"`
+	Rejected       int    `json:"rejected,omitempty"`
+	AdmittedWeight int64  `json:"admitted_weight,omitempty"`
+	RejectedWeight int64  `json:"rejected_weight,omitempty"`
+	MachinesOpened int    `json:"machines_opened,omitempty"`
+	PeakOpen       int    `json:"peak_open,omitempty"`
+	// Error-only field.
+	Error string `json:"error,omitempty"`
+}
+
+// WireStreamEvent encodes one session event. A rejected arrival has no
+// machine: the internal RejectJob sentinel stays off the wire (the
+// "reject" type is the whole signal), so clients never see a negative
+// machine id.
+func WireStreamEvent(ev online.Event) StreamEvent {
+	out := StreamEvent{
+		Type:       StreamEventAssign,
+		Seq:        ev.Seq,
+		JobID:      ev.JobID,
+		Machine:    ev.Machine,
+		Opened:     ev.Opened,
+		Marginal:   ev.Marginal,
+		Open:       ev.Open,
+		Cost:       ev.Cost,
+		LowerBound: ev.LowerBound,
+		Ratio:      ev.Ratio,
+	}
+	if ev.Rejected {
+		out.Type = StreamEventReject
+		out.Machine = 0
+	}
+	return out
+}
+
+// WireStreamClose encodes the session's final report. It is shared by
+// the handler and the clients that re-derive the expected close event
+// from an offline replay (busysim stream -verify, the e2e tests), so
+// "byte-equal to the offline harness" is checked against one codec.
+func WireStreamClose(sum online.Summary) StreamEvent {
+	return StreamEvent{
+		Type:           StreamEventClose,
+		Strategy:       sum.Strategy,
+		Arrivals:       sum.Arrivals,
+		Admitted:       sum.Admitted,
+		Rejected:       sum.Rejected,
+		AdmittedWeight: sum.AdmittedWeight,
+		RejectedWeight: sum.RejectedWeight,
+		Cost:           sum.Cost,
+		MachinesOpened: sum.MachinesOpened,
+		PeakOpen:       sum.PeakOpen,
+		LowerBound:     sum.LowerBound,
+		Ratio:          sum.Ratio,
+	}
 }
 
 // AlgorithmInfo is the wire form of one registry entry, served by

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestServerSolveMalformedInputs posts hostile wire bodies at /v1/solve
+// and requires a structured 400 (or 413/422 where noted) for every one —
+// never a panic-driven 500. The rect end < start rows pin a real bug:
+// the codec used to construct the rectangle before validating, and
+// interval.New panics on end < start, crashing the handler.
+func TestServerSolveMalformedInputs(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		substr string
+	}{
+		{
+			"rect dim1 end before start",
+			`{"rect":{"g":2,"jobs":[{"id":0,"start1":10,"end1":3,"start2":0,"end2":5}]}}`,
+			http.StatusBadRequest, "end 3 < start 10",
+		},
+		{
+			"rect dim2 end before start",
+			`{"rect":{"g":2,"jobs":[{"id":0,"start1":0,"end1":5,"start2":9,"end2":-4}]}}`,
+			http.StatusBadRequest, "end -4 < start 9",
+		},
+		{
+			"rect coordinates overflow",
+			`{"rect":{"g":2,"jobs":[{"id":0,"start1":-9223372036854775800,"end1":9223372036854775800,"start2":0,"end2":5}]}}`,
+			http.StatusBadRequest, "sane range",
+		},
+		{
+			"1-D negative length",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":9,"end":3}]}}`,
+			http.StatusBadRequest, "end 3 < start 9",
+		},
+		{
+			"1-D coordinates overflow",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":-4611686018427387904,"end":4611686018427387904}]}}`,
+			http.StatusBadRequest, "sane range",
+		},
+		{
+			"negative weight",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5,"weight":-3}]}}`,
+			http.StatusBadRequest, "weight",
+		},
+		{
+			"overflowing weight",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5,"weight":1e300}]}}`,
+			http.StatusBadRequest, "",
+		},
+		{
+			"NaN weight is not JSON",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5,"weight":NaN}]}}`,
+			http.StatusBadRequest, "",
+		},
+		{
+			"weight above the sane cap",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5,"weight":4611686018427387904}]}}`,
+			http.StatusBadRequest, "sane cap",
+		},
+		{
+			"demand above the sane cap",
+			`{"instance":{"g":4611686018427387904,"jobs":[{"id":0,"start":0,"end":5,"demand":2305843009213693952}]}}`,
+			http.StatusBadRequest, "sane cap",
+		},
+		{
+			"both instance and rect",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]},"rect":{"g":2,"jobs":[{"id":0,"start1":0,"end1":5,"start2":0,"end2":5}]}}`,
+			http.StatusBadRequest, "both",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var out map[string]interface{}
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatalf("non-JSON error response: %v", err)
+			}
+			if resp.StatusCode != c.status {
+				t.Fatalf("status %d (%v), want %d", resp.StatusCode, out, c.status)
+			}
+			msg, _ := out["error"].(string)
+			if msg == "" {
+				t.Fatalf("no structured error in %v", out)
+			}
+			if c.substr != "" && !strings.Contains(msg, c.substr) {
+				t.Errorf("error %q does not mention %q", msg, c.substr)
+			}
+		})
+	}
+}
+
+// TestServerBatchMalformedRectItem checks a malformed rect request inside
+// a batch fails alone with a structured per-item error (no panic, and no
+// poisoning of its siblings).
+func TestServerBatchMalformedRectItem(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := `{"requests":[
+		{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]}},
+		{"rect":{"g":2,"jobs":[{"id":0,"start1":7,"end1":2,"start2":0,"end2":5}]}},
+		{"instance":{"g":2,"jobs":[{"id":0,"start":2,"end":9}]}}
+	]}`
+	resp, err := http.Post(ts.URL+"/v1/solve/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 with a per-item error", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(out.Results))
+	}
+	if out.Results[0].Error != "" || !out.Results[0].Certified {
+		t.Errorf("healthy sibling 0 failed: %+v", out.Results[0])
+	}
+	if !strings.Contains(out.Results[1].Error, "end 2 < start 7") {
+		t.Errorf("malformed rect item error = %q", out.Results[1].Error)
+	}
+	if out.Results[2].Error != "" || !out.Results[2].Certified {
+		t.Errorf("healthy sibling 2 failed: %+v", out.Results[2])
+	}
+}

@@ -11,7 +11,7 @@ import (
 func Names() []string {
 	return []string{
 		"general", "clique", "proper", "proper-clique", "one-sided",
-		"cloud", "lightpaths", "arrivals", "bursty",
+		"cloud", "lightpaths", "arrivals", "bursty", "weighted",
 	}
 }
 
@@ -42,6 +42,8 @@ func ByName(family string, seed int64, c Config) (job.Instance, error) {
 		return Arrivals(seed, c), nil
 	case "bursty":
 		return BurstyArrivals(seed, c), nil
+	case "weighted":
+		return WeightedArrivals(seed, c), nil
 	default:
 		return job.Instance{}, fmt.Errorf("unknown workload %q", family)
 	}

@@ -23,6 +23,20 @@ func arrivalIndexed(in job.Instance) job.Instance {
 	return out
 }
 
+// WeightedArrivals returns an arrival-ordered general instance whose jobs
+// carry throughput weights spread over [1, 8] — the stream shape for the
+// weighted online variant with admission control: weight is the value an
+// admission-control strategy banks by accepting the arrival.
+func WeightedArrivals(seed int64, c Config) job.Instance {
+	c.check()
+	in := Arrivals(seed, c)
+	r := c.rng(seed ^ 0x77656967687473) // decorrelate weights from shapes
+	for i := range in.Jobs {
+		in.Jobs[i].Weight = 1 + r.Int63n(8)
+	}
+	return in
+}
+
 // BurstyArrivals returns an arrival-ordered instance whose jobs come in
 // bursts: groups of up to G simultaneous releases separated by random
 // gaps, the arrival pattern that most rewards packing arrivals together.

@@ -116,6 +116,9 @@ type Result struct {
 	// ever opened and the maximum simultaneously open (zero offline).
 	MachinesOpened int `json:"machines_opened,omitempty"`
 	PeakOpen       int `json:"peak_open,omitempty"`
+	// Rejected counts arrivals an online admission-control strategy
+	// declined (always zero offline and for non-rejecting strategies).
+	Rejected int `json:"rejected,omitempty"`
 	// LowerBound is the Observation 2.1 bound max(span, ⌈len/g⌉) (area
 	// form for 2-D), and RatioVsBound is Cost/LowerBound — an upper
 	// bound on the true approximation ratio.
@@ -172,11 +175,16 @@ func (r Result) Certificate() error {
 	}
 	if r.Kind == KindOnline {
 		// An online replay commits every arrival irrevocably, so the run
-		// statistics must be internally consistent: all jobs scheduled,
-		// every distinct machine was opened, and the peak of simultaneously
-		// open machines never exceeds the number ever opened.
-		if r.Scheduled != len(in.Jobs) {
-			return fmt.Errorf("busytime: online run scheduled %d of %d jobs", r.Scheduled, len(in.Jobs))
+		// statistics must be internally consistent: every job is either
+		// scheduled or was rejected by admission control, every distinct
+		// machine was opened, the peak of simultaneously open machines
+		// never exceeds the number ever opened, and a budgeted run never
+		// overspends its budget.
+		if r.Scheduled+r.Rejected != len(in.Jobs) {
+			return fmt.Errorf("busytime: online run scheduled %d and rejected %d of %d jobs", r.Scheduled, r.Rejected, len(in.Jobs))
+		}
+		if r.Budget > 0 && r.Cost > r.Budget {
+			return fmt.Errorf("busytime: online run cost %d exceeds admission budget %d", r.Cost, r.Budget)
 		}
 		if r.MachinesOpened < r.Machines {
 			return fmt.Errorf("busytime: online run reports %d machines opened but %d distinct machines used", r.MachinesOpened, r.Machines)
@@ -317,6 +325,17 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]Result, erro
 	// inside request parallelism would oversubscribe the pool.
 	inner := *s
 	inner.parallelism = 1
+	// Per-request deadlines are anchored at batch entry, not at worker
+	// pickup: a request's Timeout budgets its whole stay in the batch, so
+	// one that expired while queued behind slower siblings fails fast
+	// instead of occupying a pool slot on a solve it can no longer use.
+	now := time.Now()
+	deadlines := make([]time.Time, len(reqs))
+	for i, req := range reqs {
+		if req.Timeout > 0 {
+			deadlines[i] = now.Add(req.Timeout)
+		}
+	}
 	parallel.ForEach(len(reqs), s.parallelism, func(i int) {
 		req := reqs[i]
 		if err := ctx.Err(); err != nil {
@@ -324,8 +343,12 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]Result, erro
 			return
 		}
 		rctx, cancel := ctx, context.CancelFunc(nil)
-		if req.Timeout > 0 {
-			rctx, cancel = context.WithTimeout(ctx, req.Timeout)
+		if !deadlines[i].IsZero() {
+			if !time.Now().Before(deadlines[i]) {
+				results[i] = Result{Kind: req.EffectiveKind(), Err: context.DeadlineExceeded}
+				return
+			}
+			rctx, cancel = context.WithDeadline(ctx, deadlines[i])
 		}
 		res, err := inner.solveOne(rctx, req)
 		if cancel != nil {
@@ -367,6 +390,7 @@ func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 		err  error
 		res  Result
 	)
+	admittedBound := int64(-1) // ≥ 0: online run with rejections, bound over admitted jobs
 	switch kind {
 	case KindMinBusy:
 		sch, name, err = s.solveMinBusy(ctx, in, class)
@@ -381,11 +405,29 @@ func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 		res.Budget = budget
 		sch, name, err = s.solveThroughput(ctx, in, budget, class)
 	case KindOnline:
+		// Only the request's own budget reaches admission control: the
+		// Solver-level WithBudget default stays a KindMaxThroughput
+		// fallback, as its contract documents.
+		budget := req.Budget
 		var onlineRes online.Result
-		onlineRes, name, err = s.solveOnline(ctx, in)
+		var budgetApplied bool
+		onlineRes, name, budgetApplied, err = s.solveOnline(ctx, in, budget)
 		sch = onlineRes.Schedule
 		res.MachinesOpened = onlineRes.MachinesOpened
 		res.PeakOpen = onlineRes.PeakOpen
+		res.Rejected = onlineRes.Rejected
+		if budgetApplied {
+			res.Budget = budget
+		}
+		if err == nil && onlineRes.Rejected > 0 {
+			// An admission-control run is only charged for what it
+			// admitted, so its Observation 2.1 bound (and the ratio
+			// against it) must cover the admitted arrivals alone —
+			// the full-instance bound would push the ratio below 1.
+			// This matches the lower_bound the streaming endpoint's
+			// per-session tracker reports for the same run.
+			admittedBound = onlineRes.Summarize().LowerBound
+		}
 	default:
 		return Result{}, fmt.Errorf("busytime: unsupported problem kind %s", kind)
 	}
@@ -400,6 +442,9 @@ func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 
 	cost := sch.Cost()
 	lb := in.LowerBound()
+	if admittedBound >= 0 {
+		lb = admittedBound
+	}
 	res.Schedule = sch
 	res.Algorithm = name
 	res.Kind = kind
@@ -501,24 +546,48 @@ func (s *Solver) solveThroughput(ctx context.Context, in Instance, budget int64,
 	return Schedule{}, "", fmt.Errorf("busytime: no registered max-throughput algorithm accepted the instance (class %s)", class)
 }
 
-func (s *Solver) solveOnline(ctx context.Context, in Instance) (online.Result, string, error) {
+// solveOnline replays the instance through the pinned (or strongest
+// registered) strategy. A positive budget is handed to strategies that
+// implement online.BudgetSetter (the admission-control family); the
+// returned flag reports whether it actually applied, so the Result only
+// echoes a budget the run was really bound by. Pinning a budgeted
+// strategy WITHOUT a budget is deliberately allowed at this level and
+// degenerates to its unbudgeted placement policy (BestFit): the registry
+// constructs strategies parameter-free, and the conformance harness,
+// E16 and the fuzz targets rely on every registered strategy producing a
+// total schedule here. The user-facing surfaces (busyd's /v1/stream,
+// onlinesim) refuse that combination instead, because there the silent
+// degeneration would masquerade as admission control.
+func (s *Solver) solveOnline(ctx context.Context, in Instance, budget int64) (online.Result, string, bool, error) {
 	name := s.algorithm
 	if name == "" {
 		alg, err := registry.For(registry.Online, igraph.Classify(in.Jobs))
 		if err != nil {
-			return online.Result{}, "", err
+			return online.Result{}, "", false, err
 		}
 		name = alg.Name
 	}
 	alg, err := registry.LookupKind(registry.Online, name)
 	if err != nil {
-		return online.Result{}, "", err
+		return online.Result{}, "", false, err
 	}
 	if err := ctx.Err(); err != nil {
-		return online.Result{}, "", err
+		return online.Result{}, "", false, err
 	}
-	res, err := online.Replay(in, alg.NewStrategy())
-	return res, alg.Name, err
+	st := alg.NewStrategy()
+	budgetApplied := false
+	if budget > 0 {
+		bs, ok := st.(online.BudgetSetter)
+		if !ok {
+			// Dropping the budget silently would let the caller believe
+			// admission control ran; refuse, like the serving surfaces do.
+			return online.Result{}, "", false, fmt.Errorf("busytime: online strategy %s does not support a budget (use online-budget)", alg.Name)
+		}
+		bs.SetBudget(budget)
+		budgetApplied = true
+	}
+	res, err := online.Replay(in, st)
+	return res, alg.Name, budgetApplied, err
 }
 
 func (s *Solver) solveRect(ctx context.Context, req Request, start time.Time) (Result, error) {

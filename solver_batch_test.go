@@ -195,3 +195,41 @@ func TestSolveBatchPerRequestTimeout(t *testing.T) {
 		t.Fatalf("deadline request Err = %v, want context.DeadlineExceeded", results[3].Err)
 	}
 }
+
+// TestSolveBatchExpiredTimeoutFailsFast pins the queueing semantics of
+// Request.Timeout: the deadline is anchored when the batch is submitted,
+// so a request whose budget has already drained while it waited behind a
+// slow sibling on a 1-worker pool fails fast with DeadlineExceeded
+// instead of occupying the pool slot with a doomed solve.
+func TestSolveBatchExpiredTimeoutFailsFast(t *testing.T) {
+	// First request: an oracle-sized exact solve that holds the single
+	// worker well past the second request's 1 ns budget.
+	slow := busytime.GenerateGeneral(3, busytime.WorkloadConfig{N: 17, G: 3, MaxTime: 500, MaxLen: 80})
+	quick := busytime.GenerateProper(1, busytime.WorkloadConfig{N: 8, G: 2, MaxTime: 100, MaxLen: 20})
+	reqs := []busytime.Request{
+		{Instance: slow},
+		{Instance: quick, Timeout: time.Nanosecond},
+	}
+	start := time.Now()
+	results, err := busytime.NewSolver(
+		busytime.WithExactThreshold(18), busytime.WithParallelism(1),
+	).SolveBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatalf("SolveBatch: %v", err)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("slow request failed: %v", results[0].Err)
+	}
+	if !errors.Is(results[1].Err, context.DeadlineExceeded) {
+		t.Fatalf("expired request Err = %v, want context.DeadlineExceeded", results[1].Err)
+	}
+	if results[1].Scheduled != 0 || results[1].Algorithm != "" {
+		t.Errorf("expired request carries solve output: %+v", results[1])
+	}
+	// The second request must not have added its own solve time on top of
+	// the first one's: the batch ends essentially when the slow solve
+	// does. A loose sanity ceiling keeps this robust on slow CI.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("batch took %v; expired request did not fail fast", elapsed)
+	}
+}

@@ -241,8 +241,53 @@ func TestRegistrySolverOnline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if auto.Algorithm != "online-firstfit" {
+	if auto.Algorithm != "online-bestfit" {
 		t.Errorf("auto online strategy = %q", auto.Algorithm)
+	}
+}
+
+// TestRegistrySolverOnlineBudgeted pins the admission-control semantics
+// of the online kind: the request's budget reaches the strategy, the run
+// never overspends, and the reported lower bound (and ratio) cover the
+// admitted arrivals only — an admission run is not charged for what it
+// rejected, and a full-instance bound would push the ratio below 1.
+func TestRegistrySolverOnlineBudgeted(t *testing.T) {
+	ctx := context.Background()
+	in := busytime.GenerateWeightedArrivals(5, busytime.WorkloadConfig{N: 150, G: 3, MaxTime: 600, MaxLen: 50})
+	budget := in.LowerBound() / 2 // tight: forces rejections
+	res, err := busytime.NewSolver(busytime.WithAlgorithm("online-budget")).
+		Solve(ctx, busytime.Request{Instance: in, Kind: busytime.KindOnline, Budget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatal("tight budget rejected nothing")
+	}
+	if res.Cost > budget || res.Budget != budget {
+		t.Errorf("cost %d / echoed budget %d against budget %d", res.Cost, res.Budget, budget)
+	}
+	if res.RatioVsBound < 1 {
+		t.Errorf("ratio vs bound %.4f < 1: lower bound not restricted to admitted arrivals", res.RatioVsBound)
+	}
+	direct, err := busytime.ReplayOnline(in, busytime.OnlineBudgeted(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := direct.Summarize().LowerBound; res.LowerBound != want {
+		t.Errorf("lower bound %d, want admitted-only bound %d", res.LowerBound, want)
+	}
+	if err := res.Certificate(); err != nil {
+		t.Error(err)
+	}
+	// The Solver default budget (WithBudget) is a max-throughput
+	// fallback and must not leak into online runs.
+	plain, err := busytime.NewSolver(busytime.WithAlgorithm("online-budget"), busytime.WithBudget(budget)).
+		Solve(ctx, busytime.Request{Instance: in, Kind: busytime.KindOnline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rejected != 0 || plain.Budget != 0 {
+		t.Errorf("WithBudget leaked into an online run: %d rejected, budget %d", plain.Rejected, plain.Budget)
 	}
 }
 
