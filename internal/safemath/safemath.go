@@ -1,0 +1,122 @@
+// Package safemath provides the sanctioned overflow-checked arithmetic
+// for interval endpoints, lengths, weights and busy-time budgets.
+//
+// The wire boundary caps decoded coordinates at ±2^40 ticks, so a single
+// interval length or weight fits comfortably in an int64 — but running
+// totals do not: a long-lived /v1/stream session admitting 2^22 arrivals
+// of length 2^41 overflows a naive Σ len accumulator, and admission
+// control multiplies costs by weights, where products pass 2^80. The
+// busylint/coordarith analyzer therefore forbids raw +, - and * on int64
+// values in the accounting packages (internal/online, internal/server);
+// this package is the allowed escape hatch.
+//
+// The saturating operations clamp at ±MaxInt64 instead of wrapping.
+// Saturation is the right failure mode for busy-time accounting: a
+// saturated cost or length total only loosens a reported ratio or
+// tightens an admission test — it never flips a sign, wraps a budget
+// back to "plenty left", or understates a cost. Comparisons that must be
+// exact past 64 bits (the admission test c·(W+w) ≤ B·w) use the 128-bit
+// Mul128Greater instead of multiplying at all.
+package safemath
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SatAdd returns a + b, clamping to MaxInt64 / MinInt64 on overflow.
+func SatAdd(a, b int64) int64 {
+	s := a + b
+	// Overflow iff the operands share a sign the sum does not.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+// SatSub returns a - b, clamping to MaxInt64 / MinInt64 on overflow.
+func SatSub(a, b int64) int64 {
+	d := a - b
+	// Overflow iff the operands differ in sign and the difference does
+	// not take a's sign.
+	if (a >= 0) != (b >= 0) && (d >= 0) != (a >= 0) {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return d
+}
+
+// SatMul returns a * b, clamping to MaxInt64 / MinInt64 on overflow.
+func SatMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b == a && !(a == -1 && b == math.MinInt64) && !(b == -1 && a == math.MinInt64) {
+		return p
+	}
+	if (a > 0) == (b > 0) {
+		return math.MaxInt64
+	}
+	return math.MinInt64
+}
+
+// CheckedAdd returns a + b and true, or 0 and false on overflow.
+func CheckedAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// CheckedSub returns a - b and true, or 0 and false on overflow.
+func CheckedSub(a, b int64) (int64, bool) {
+	d := a - b
+	if (a >= 0) != (b >= 0) && (d >= 0) != (a >= 0) {
+		return 0, false
+	}
+	return d, true
+}
+
+// CheckedMul returns a * b and true, or 0 and false on overflow.
+func CheckedMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// CeilDiv returns ⌈a/b⌉ for a >= 0, b > 0 — the parallelism lower bound
+// ⌈len/g⌉ without the overflow the textbook (a+b-1)/b form risks when a
+// is near MaxInt64.
+func CeilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 {
+		q++
+	}
+	return q
+}
+
+// Mul128Greater reports a·b > c·d exactly for non-negative int64
+// operands via 128-bit products. It is the admission-control comparison:
+// at the wire caps the products pass 2^53, where a float64 comparison
+// could round in the admitting direction and break the never-overspends
+// guarantee, and past 2^63 a 64-bit product would wrap.
+func Mul128Greater(a, b, c, d int64) bool {
+	hi1, lo1 := bits.Mul64(uint64(a), uint64(b))
+	hi2, lo2 := bits.Mul64(uint64(c), uint64(d))
+	return hi1 > hi2 || (hi1 == hi2 && lo1 > lo2)
+}

@@ -1,0 +1,120 @@
+package safemath
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 3},
+		{-1, -2, -3},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{math.MinInt64, -1, math.MinInt64},
+		{math.MinInt64, math.MaxInt64, -1},
+		{math.MaxInt64, math.MinInt64, -1},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SatAdd(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSatSub(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{5, 3, 2},
+		{3, 5, -2},
+		{math.MinInt64, 1, math.MinInt64},
+		{math.MaxInt64, -1, math.MaxInt64},
+		{math.MinInt64, math.MinInt64, 0},
+		{0, math.MinInt64, math.MaxInt64}, // true result 2^63 saturates
+	}
+	for _, c := range cases {
+		if got := SatSub(c.a, c.b); got != c.want {
+			t.Errorf("SatSub(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSatMul(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{6, 7, 42},
+		{-6, 7, -42},
+		{0, math.MaxInt64, 0},
+		{math.MaxInt64, 2, math.MaxInt64},
+		{math.MinInt64, 2, math.MinInt64},
+		{math.MinInt64, -1, math.MaxInt64},
+		{-1, math.MinInt64, math.MaxInt64},
+		{1 << 32, 1 << 32, math.MaxInt64},
+		{-(1 << 32), 1 << 32, math.MinInt64},
+	}
+	for _, c := range cases {
+		if got := SatMul(c.a, c.b); got != c.want {
+			t.Errorf("SatMul(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCheckedOps(t *testing.T) {
+	if v, ok := CheckedAdd(40, 2); !ok || v != 42 {
+		t.Errorf("CheckedAdd(40, 2) = %d, %v", v, ok)
+	}
+	if _, ok := CheckedAdd(math.MaxInt64, 1); ok {
+		t.Error("CheckedAdd(MaxInt64, 1) reported ok")
+	}
+	if v, ok := CheckedSub(40, -2); !ok || v != 42 {
+		t.Errorf("CheckedSub(40, -2) = %d, %v", v, ok)
+	}
+	if _, ok := CheckedSub(math.MinInt64, 1); ok {
+		t.Error("CheckedSub(MinInt64, 1) reported ok")
+	}
+	if v, ok := CheckedMul(6, 7); !ok || v != 42 {
+		t.Errorf("CheckedMul(6, 7) = %d, %v", v, ok)
+	}
+	if _, ok := CheckedMul(math.MinInt64, -1); ok {
+		t.Error("CheckedMul(MinInt64, -1) reported ok")
+	}
+	if _, ok := CheckedMul(1<<32, 1<<32); ok {
+		t.Error("CheckedMul(2^32, 2^32) reported ok")
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 3, 0},
+		{1, 3, 1},
+		{3, 3, 1},
+		{4, 3, 2},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{math.MaxInt64, 2, math.MaxInt64/2 + 1},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMul128Greater(t *testing.T) {
+	big128 := func(a, b int64) *big.Int {
+		return new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	}
+	cases := [][4]int64{
+		{3, 4, 6, 2},
+		{6, 2, 3, 4},
+		{3, 4, 4, 3},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64, math.MaxInt64 - 1},
+		{1 << 40, 1 << 40, 1 << 41, 1 << 40},
+		{0, math.MaxInt64, 1, 1},
+	}
+	for _, c := range cases {
+		want := big128(c[0], c[1]).Cmp(big128(c[2], c[3])) > 0
+		if got := Mul128Greater(c[0], c[1], c[2], c[3]); got != want {
+			t.Errorf("Mul128Greater(%d, %d, %d, %d) = %v, want %v", c[0], c[1], c[2], c[3], got, want)
+		}
+	}
+}
