@@ -1,0 +1,39 @@
+// Command busylint is the repository's invariant checker: a multichecker
+// of five repo-specific analyzers that mechanize the disciplines earlier
+// PRs enforced by hand review.
+//
+//	ctxloop          context-accepting algorithm loops must observe ctx
+//	nopanic          no panic/log.Fatal/os.Exit in server handler/codec code
+//	registryhygiene  every algorithm constructor registered, with classes
+//	                 and a guarantee
+//	detreplay        replay/conformance code stays deterministic
+//	coordarith       int64 coordinate arithmetic goes through safemath
+//
+// Usage:
+//
+//	busylint ./...               # standalone, human-readable
+//	busylint -json ./...         # machine-readable (the CI artifact)
+//	go vet -vettool=$(which busylint) ./...
+//
+// Suppress a single finding with a reasoned directive on (or right
+// above) the flagged line:
+//
+//	//lint:ignore busylint/<analyzer> <reason>
+//
+// The reason is mandatory; without one the finding still fires.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	if driver.IsVetInvocation(args) {
+		os.Exit(driver.VetMain(args, suite.All()))
+	}
+	os.Exit(driver.Main(args, suite.All()))
+}

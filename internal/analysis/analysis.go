@@ -1,0 +1,221 @@
+// Package analysis is a dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis analyzer surface, sized to what the
+// busylint suite needs. The module deliberately has no external
+// dependencies, so the standard x/tools framework cannot be imported;
+// this package mirrors its shape (Analyzer, Pass, Diagnostic, a driver
+// contract) so the five repo-specific analyzers read like any other
+// go/analysis checker and could be ported onto x/tools verbatim if the
+// dependency ever lands.
+//
+// Two driver entry points consume it: cmd/busylint (standalone walker
+// plus the `go vet -vettool=` unit-checker protocol) and the
+// analysistest harness that runs golden-fixture tests.
+//
+// Suppressions: a finding may be waived with a staticcheck-style
+// directive on the flagged line or the line above it:
+//
+//	//lint:ignore busylint/<analyzer> <reason>
+//
+// The reason is mandatory — a directive without one does not suppress
+// anything (and is itself reported), so every waiver in the tree
+// documents why the invariant may be broken at that site.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name (the suppression key and
+// CI finding key), documentation, and the per-package Run function.
+type Analyzer struct {
+	// Name identifies the analyzer; findings are suppressed with
+	// //lint:ignore busylint/<Name> <reason>.
+	Name string
+	// Doc is the one-paragraph description shown by busylint -help.
+	Doc string
+	// Run analyzes one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's non-test source files. Test files are
+	// excluded uniformly: busylint mechanizes production invariants, and
+	// keeping the file set identical between the standalone driver and
+	// the per-unit vet protocol keeps finding counts comparable.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Package is the loaded form a driver hands to Run: parsed non-test
+// files plus complete type information.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to the package and returns the surviving
+// findings sorted by position, with //lint:ignore suppressions applied.
+// Directives that name a busylint analyzer but omit the mandatory
+// reason are reported as findings themselves, so a reasonless waiver
+// can never silently hide one.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range sup.malformed {
+		out = append(out, d)
+	}
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report: func(d Diagnostic) {
+				if !sup.suppressed(pkg.Fset, d) {
+					out = append(out, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// suppressions indexes //lint:ignore directives by file and line.
+type suppressions struct {
+	// byLine maps file -> line -> analyzer names waived on that line
+	// (with a reason present).
+	byLine    map[string]map[int]map[string]bool
+	malformed []Diagnostic
+}
+
+const directivePrefix = "lint:ignore "
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				var waived []string
+				for _, name := range strings.Split(names, ",") {
+					if after, ok := strings.CutPrefix(name, "busylint/"); ok {
+						waived = append(waived, after)
+					}
+				}
+				if len(waived) == 0 {
+					continue // not a busylint directive (e.g. staticcheck's)
+				}
+				if strings.TrimSpace(reason) == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Analyzer: "suppression",
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("lint:ignore %s has no reason; reasonless suppressions do not suppress", names),
+					})
+					continue
+				}
+				fileLines, ok := s.byLine[pos.Filename]
+				if !ok {
+					fileLines = map[int]map[string]bool{}
+					s.byLine[pos.Filename] = fileLines
+				}
+				set, ok := fileLines[pos.Line]
+				if !ok {
+					set = map[string]bool{}
+					fileLines[pos.Line] = set
+				}
+				for _, w := range waived {
+					set[w] = true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is waived by a directive on its line or
+// the line immediately above.
+func (s *suppressions) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	fileLines, ok := s.byLine[pos.Filename]
+	if !ok {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if set, ok := fileLines[line]; ok && set[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// InScope reports whether a package path falls under any of the given
+// prefixes ("repro/internal/online" covers itself and subpackages).
+func InScope(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether a file name belongs to a test.
+func IsTestFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// NewInfo returns a types.Info with every map a driver or analyzer
+// needs populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,151 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// funcFlagger reports a finding at every function declaration, giving
+// the suppression machinery something deterministic to waive.
+var funcFlagger = &analysis.Analyzer{
+	Name: "fake",
+	Doc:  "flags every function declaration (test helper)",
+	Run: func(pass *analysis.Pass) error {
+		for _, file := range pass.Files {
+			for _, decl := range file.Decls {
+				if fn, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fn.Pos(), "function %s", fn.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func runOn(t *testing.T, src string) []analysis.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := analysis.Run(&analysis.Package{Fset: fset, Files: []*ast.File{f}, Types: pkg, Info: info},
+		[]*analysis.Analyzer{funcFlagger})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return diags
+}
+
+func messages(diags []analysis.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestSuppressionWithReason(t *testing.T) {
+	diags := runOn(t, `package p
+
+//lint:ignore busylint/fake reviewed: the helper is fine
+func a() {}
+
+func b() {}
+`)
+	got := messages(diags)
+	if len(got) != 1 || !strings.Contains(got[0], "function b") {
+		t.Fatalf("expected only b flagged, got %v", got)
+	}
+}
+
+func TestReasonlessSuppressionDoesNotSuppress(t *testing.T) {
+	diags := runOn(t, `package p
+
+//lint:ignore busylint/fake
+func a() {}
+`)
+	got := messages(diags)
+	if len(got) != 2 {
+		t.Fatalf("expected finding plus malformed-directive report, got %v", got)
+	}
+	var sawMalformed, sawFinding bool
+	for _, m := range got {
+		if strings.HasPrefix(m, "suppression: ") && strings.Contains(m, "has no reason") {
+			sawMalformed = true
+		}
+		if strings.Contains(m, "function a") {
+			sawFinding = true
+		}
+	}
+	if !sawMalformed || !sawFinding {
+		t.Fatalf("missing expected diagnostics: %v", got)
+	}
+}
+
+func TestSuppressionWrongAnalyzer(t *testing.T) {
+	diags := runOn(t, `package p
+
+//lint:ignore busylint/other per-analyzer directives do not cross over
+func a() {}
+`)
+	if got := messages(diags); len(got) != 1 || !strings.Contains(got[0], "function a") {
+		t.Fatalf("expected a still flagged, got %v", got)
+	}
+}
+
+func TestSuppressionCommaList(t *testing.T) {
+	diags := runOn(t, `package p
+
+//lint:ignore busylint/other,busylint/fake one directive may waive several analyzers
+func a() {}
+`)
+	if got := messages(diags); len(got) != 0 {
+		t.Fatalf("expected no findings, got %v", got)
+	}
+}
+
+func TestForeignDirectiveIgnored(t *testing.T) {
+	// A staticcheck-style directive that names no busylint analyzer is
+	// not ours to police and must not suppress busylint findings.
+	diags := runOn(t, `package p
+
+//lint:ignore SA4006 someone else's checker
+func a() {}
+`)
+	if got := messages(diags); len(got) != 1 || !strings.Contains(got[0], "function a") {
+		t.Fatalf("expected a still flagged, got %v", got)
+	}
+}
+
+func TestInScope(t *testing.T) {
+	prefixes := []string{"repro/internal/online"}
+	for path, want := range map[string]bool{
+		"repro/internal/online":        true,
+		"repro/internal/online/replay": true,
+		"repro/internal/onlinex":       false,
+		"repro/internal/server":        false,
+	} {
+		if got := analysis.InScope(path, prefixes); got != want {
+			t.Errorf("InScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+func TestIsTestFile(t *testing.T) {
+	if !analysis.IsTestFile("a_test.go") || analysis.IsTestFile("a.go") {
+		t.Error("IsTestFile misclassifies")
+	}
+}

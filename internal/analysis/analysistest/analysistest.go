@@ -1,0 +1,217 @@
+// Package analysistest runs an analyzer over golden fixture packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest: fixture files
+// under testdata/src/<pkg> annotate the lines expected to be flagged
+// with trailing comments of the form
+//
+//	// want "regexp"
+//	// want "first" "second"
+//
+// Every reported diagnostic must match a want on its line and every
+// want must be matched — unmatched in either direction fails the test.
+// Fixtures may import other fixture packages (resolved under
+// testdata/src) and the standard library (resolved from source via
+// go/importer), so the harness needs no compiled export data and works
+// offline.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads each fixture package below dir/src and applies the
+// analyzer, checking diagnostics against the // want annotations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := &loader{
+		srcDir: filepath.Join(dir, "src"),
+		fset:   token.NewFileSet(),
+		pkgs:   map[string]*loaded{},
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(&analysis.Package{
+			Fset:  ld.fset,
+			Files: pkg.files,
+			Types: pkg.types,
+			Info:  pkg.info,
+		}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, ld.fset, pkg.files, diags)
+	}
+}
+
+type loaded struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	pkgs   map[string]*loaded
+	std    types.Importer
+}
+
+// Import resolves fixture-package imports recursively and everything
+// else through the source-based stdlib importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.srcDir, path)) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+func (ld *loader) load(path string) (*loaded, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &loaded{files: files, types: tpkg, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s [%s]", pos, d.Message, d.Analyzer)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// splitPatterns parses the space-separated quoted patterns after
+// "// want": both "double-quoted" and `backquoted` forms are accepted.
+func splitPatterns(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			// Ignore trailing non-quoted junk (e.g. a closing */).
+			return out
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return out
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			if unq, err := strconv.Unquote(raw); err == nil {
+				out = append(out, unq)
+			}
+		} else {
+			out = append(out, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package coordarith extends the wire boundary's ±2^40 coordinate
+// sanity caps into internal arithmetic: in the accounting packages
+// (internal/online, internal/server), every int64 value is an interval
+// endpoint, a length, a weight or a busy-time budget, and raw +, - and
+// * on those can overflow — not hypothetically: a stream session's
+// Σ len accumulator overflows after ~4M capped-length arrivals, and the
+// admission test multiplies costs by weights, whose product passes
+// 2^80. PR 5 hand-built a 128-bit comparison for exactly that reason.
+//
+// The analyzer flags every raw int64 +, -, * (and +=, -=, *=) in scope.
+// The sanctioned replacements live in internal/safemath (SatAdd/SatSub/
+// SatMul, the Checked variants, CeilDiv, Mul128Greater); a site where
+// overflow is structurally impossible may carry a
+// //lint:ignore busylint/coordarith suppression explaining why.
+// Arithmetic on int loop indexes and counters, on named int64 types
+// such as time.Duration, and on constants is out of scope by
+// construction: only the predeclared int64 — the repo's coordinate
+// type — is policed.
+package coordarith
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefixes lists the packages whose int64 arithmetic must go
+// through internal/safemath.
+var ScopePrefixes = []string{
+	"repro/internal/online",
+	"repro/internal/server",
+}
+
+// Analyzer is the busylint/coordarith analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "coordarith",
+	Doc: "forbids raw +, -, * on int64 coordinate/weight/budget values in the accounting packages; " +
+		"use internal/safemath (or suppress with a proof of boundedness)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), ScopePrefixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func opName(tok token.Token) string {
+	switch tok {
+	case token.ADD, token.ADD_ASSIGN:
+		return "safemath.SatAdd"
+	case token.SUB, token.SUB_ASSIGN:
+		return "safemath.SatSub"
+	case token.MUL, token.MUL_ASSIGN:
+		return "safemath.SatMul"
+	}
+	return ""
+}
+
+func checkBinary(pass *analysis.Pass, e *ast.BinaryExpr) {
+	name := opName(e.Op)
+	if name == "" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil { // constant-folded expressions cannot overflow at run time
+		return
+	}
+	if !isPlainInt64(tv.Type) {
+		return
+	}
+	pass.Reportf(e.Pos(), "raw int64 %q on coordinate-typed values can overflow; use %s (or a checked/suppressed form)", e.Op.String(), name)
+}
+
+func checkAssign(pass *analysis.Pass, a *ast.AssignStmt) {
+	name := opName(a.Tok)
+	if name == "" || len(a.Lhs) != 1 {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(a.Lhs[0])
+	if !isPlainInt64(t) {
+		return
+	}
+	pass.Reportf(a.Pos(), "raw int64 %q on coordinate-typed values can overflow; use %s (or a checked/suppressed form)", a.Tok.String(), name)
+}
+
+// isPlainInt64 reports whether t is the predeclared int64 — not a named
+// type like time.Duration, whose arithmetic has its own discipline.
+func isPlainInt64(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Int64
+}

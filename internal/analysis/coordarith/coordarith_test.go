@@ -1,0 +1,14 @@
+package coordarith_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/coordarith"
+)
+
+func TestCoordarith(t *testing.T) {
+	defer func(old []string) { coordarith.ScopePrefixes = old }(coordarith.ScopePrefixes)
+	coordarith.ScopePrefixes = []string{"coord"}
+	analysistest.Run(t, "testdata", coordarith.Analyzer, "coord", "coordout")
+}

@@ -1,0 +1,44 @@
+// Package coord exercises busylint/coordarith: raw int64 arithmetic is
+// flagged; int indexes, named int64 types, constants and reasoned
+// suppressions are not.
+package coord
+
+import "time"
+
+func Span(start, end int64) int64 {
+	return end - start // want `raw int64 "-" on coordinate-typed values`
+}
+
+func Accumulate(total *int64, w int64) {
+	*total += w // want `raw int64 "\+=" on coordinate-typed values`
+}
+
+func Scale(w, k int64) int64 {
+	return w * k // want `raw int64 "\*" on coordinate-typed values`
+}
+
+// int loop indexes and counters are out of scope by construction.
+func Count(xs []int64) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+		n = n + 1
+	}
+	return n
+}
+
+// Named int64 types such as time.Duration have their own discipline.
+func Wait(d time.Duration) time.Duration {
+	return d + time.Second
+}
+
+const window = int64(1) << 20
+
+// Constant-folded expressions cannot overflow at run time.
+func Window() int64 {
+	return window * 2
+}
+
+func Bounded(lo, hi int64) int64 {
+	//lint:ignore busylint/coordarith both operands are wire-capped to ±2^40
+	return hi - lo
+}

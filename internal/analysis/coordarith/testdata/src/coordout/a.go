@@ -1,0 +1,7 @@
+// Package coordout is outside coordarith's scope: raw int64 arithmetic
+// is fine here.
+package coordout
+
+func Span(start, end int64) int64 {
+	return end - start
+}

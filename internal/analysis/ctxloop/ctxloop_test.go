@@ -1,0 +1,14 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxloop"
+)
+
+func TestCtxloop(t *testing.T) {
+	defer func(old []string) { ctxloop.ScopePrefixes = old }(ctxloop.ScopePrefixes)
+	ctxloop.ScopePrefixes = []string{"ctxfix"}
+	analysistest.Run(t, "testdata", ctxloop.Analyzer, "ctxfix", "ctxout")
+}

@@ -1,0 +1,108 @@
+// Package ctxfix exercises busylint/ctxloop: every shape of loop a
+// context-accepting algorithm function can contain, flagged or
+// sanctioned.
+package ctxfix
+
+import "context"
+
+// No context parameter: out of the analyzer's contract entirely.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func Bad(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs { // want `loop in Bad does not observe its context`
+		total += x
+	}
+	return total
+}
+
+// A constant limit alone is not enough: counting down from n still
+// scales with the input.
+func Countdown(ctx context.Context, n int) int {
+	total := 0
+	for i := n; i > 0; i-- { // want `loop in Countdown does not observe its context`
+		total += i
+	}
+	return total
+}
+
+func GoodErr(ctx context.Context, xs []int) int {
+	total := 0
+	for i, x := range xs {
+		if i%8 == 0 && ctx.Err() != nil {
+			return -1
+		}
+		total += x
+	}
+	return total
+}
+
+func GoodDone(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		select {
+		case <-ctx.Done():
+			return -1
+		default:
+		}
+		total += x
+	}
+	return total
+}
+
+// Passing ctx to a callee counts: the callee owns the check.
+func GoodCallee(ctx context.Context, xs []int) int {
+	total := 0
+	for range xs {
+		total += GoodErr(ctx, xs)
+	}
+	return total
+}
+
+// Constant-bound loops cannot scale with the input.
+func ConstBound(ctx context.Context) int {
+	total := 0
+	for i := 0; i < 8; i++ {
+		total += i
+	}
+	return total
+}
+
+func ArrayRange(ctx context.Context) int {
+	var a [4]int
+	total := 0
+	for _, v := range a {
+		total += v
+	}
+	return total
+}
+
+// Only the outermost loop of a nest must observe ctx; the sanctioned
+// pattern checks once per outer iteration.
+func NestedCovered(ctx context.Context, xs []int) int {
+	total := 0
+	for range xs {
+		if ctx.Err() != nil {
+			return -1
+		}
+		for _, x := range xs {
+			total += x
+		}
+	}
+	return total
+}
+
+func Suppressed(ctx context.Context, xs []int) int {
+	total := 0
+	//lint:ignore busylint/ctxloop caller contract caps len(xs) at 64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package ctxout is outside ctxloop's scope: the same offending code
+// as ctxfix.Bad produces no findings here.
+package ctxout
+
+import "context"
+
+func Scan(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

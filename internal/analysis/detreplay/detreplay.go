@@ -1,0 +1,154 @@
+// Package detreplay protects the byte-equality contract between a
+// /v1/stream session's close report and its offline replay, and the
+// reproducibility of every conformance finding: the replay/session and
+// conformance packages must be deterministic functions of their inputs.
+//
+// Three nondeterminism sources are forbidden in scope:
+//
+//   - wall-clock reads (time.Now/Since/Until) — replay timing must come
+//     from the stream, never the host clock;
+//   - the global math/rand source (seeded or not, it is process-shared
+//     state; conformance generators must thread an explicit seeded
+//     *rand.Rand so a failure shrinks to a reproducible seed);
+//   - ranging over a map where the body's effects depend on iteration
+//     order (appending, sending, calling out, or returning) — the exact
+//     pattern that makes a close report differ between two identical
+//     runs. Order-insensitive aggregation (sums, counters, map writes,
+//     delete) is allowed.
+package detreplay
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefixes lists the packages whose determinism is contractual.
+var ScopePrefixes = []string{
+	"repro/internal/online",
+	"repro/internal/conformance",
+}
+
+// Analyzer is the busylint/detreplay analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detreplay",
+	Doc: "forbids wall-clock reads, global math/rand use, and order-sensitive map iteration in the " +
+		"replay and conformance packages; close reports must be byte-equal across identical runs",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), ScopePrefixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; replay determinism requires all timing to come from the stream", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(), "global %s.%s uses process-shared randomness; thread an explicit seeded *rand.Rand instead", obj.Pkg().Name(), obj.Name())
+	}
+}
+
+// checkMapRange flags ranging over a map when the loop body is
+// order-sensitive: it appends, sends, returns, breaks, or calls
+// anything beyond the order-safe builtins. Pure accumulation
+// (x += v, counters, writes into other maps, delete) commutes across
+// iteration orders and passes.
+func checkMapRange(pass *analysis.Pass, loop *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(loop.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if reason := orderSensitive(pass, loop.Body); reason != "" {
+		pass.Reportf(loop.Pos(), "map iteration order is random and this loop %s; iterate a sorted key slice instead", reason)
+	}
+}
+
+func orderSensitive(pass *analysis.Pass, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if safeCall(pass, n) {
+				return true
+			}
+			reason = "calls out of the loop body"
+			return false
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+			return false
+		case *ast.ReturnStmt:
+			reason = "returns from inside the loop"
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" {
+				reason = "breaks early, keeping an order-dependent element"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// safeCall reports whether a call inside a map-range body cannot make
+// the loop order-sensitive: the order-safe builtins and type
+// conversions qualify; append and every other call do not.
+func safeCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch o := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Builtin:
+			switch o.Name() {
+			case "delete", "len", "cap", "min", "max", "make", "new":
+				return true
+			}
+			return false
+		case *types.TypeName:
+			return true // conversion
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ParenExpr:
+		return true // conversion spelled with a type expression
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package detreplay_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detreplay"
+)
+
+func TestDetreplay(t *testing.T) {
+	defer func(old []string) { detreplay.ScopePrefixes = old }(detreplay.ScopePrefixes)
+	detreplay.ScopePrefixes = []string{"replay"}
+	analysistest.Run(t, "testdata", detreplay.Analyzer, "replay", "replayout")
+}

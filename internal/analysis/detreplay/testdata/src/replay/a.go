@@ -1,0 +1,81 @@
+// Package replay exercises busylint/detreplay: the three
+// nondeterminism sources (wall clock, global math/rand, order-sensitive
+// map iteration) plus the sanctioned deterministic forms of each.
+package replay
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func Jitter() int {
+	return rand.Intn(10) // want `global rand.Intn uses process-shared randomness`
+}
+
+// Methods on an explicitly threaded, seeded source are the sanctioned
+// form.
+func Seeded(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// Order-insensitive accumulation commutes across iteration orders.
+func Sum(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Keys(m map[string]int64) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random and this loop calls out`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func First(m map[string]int64) string {
+	for k := range m { // want `returns from inside the loop`
+		return k
+	}
+	return ""
+}
+
+func AnyOver(m map[string]int64, w int64) string {
+	hit := ""
+	for k, v := range m { // want `breaks early, keeping an order-dependent element`
+		if v >= w {
+			hit = k
+			break
+		}
+	}
+	return hit
+}
+
+// delete and type conversions are order-safe builtins.
+func Prune(m map[string]int64) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func Convert(m map[string]int64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Package replayout is outside detreplay's scope: the wall clock and
+// the global rand are fine here.
+package replayout
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() int64 {
+	return time.Now().UnixNano() + int64(rand.Intn(10))
+}

@@ -1,0 +1,101 @@
+package driver_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/suite"
+)
+
+func TestIsVetInvocation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want bool
+	}{
+		{[]string{"-V=full"}, true},
+		{[]string{"-flags"}, true},
+		{[]string{"/tmp/vet073/pkg.cfg"}, true},
+		{[]string{"./..."}, false},
+		{[]string{"-json", "./..."}, false},
+		{nil, false},
+	} {
+		if got := driver.IsVetInvocation(tc.args); got != tc.want {
+			t.Errorf("IsVetInvocation(%v) = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}
+
+func TestVetVersionHandshake(t *testing.T) {
+	if code := driver.VetMain([]string{"-V=full"}, suite.All()); code != 0 {
+		t.Fatalf("-V=full exited %d", code)
+	}
+	if code := driver.VetMain([]string{"-flags"}, suite.All()); code != 0 {
+		t.Fatalf("-flags exited %d", code)
+	}
+}
+
+// TestVetUnit drives the unit-checker protocol by hand: a synthetic
+// package unit whose ImportPath places it in coordarith's scope must
+// produce findings (exit 2) and always write the facts file cmd/go
+// expects; a VetxOnly unit must succeed without analyzing.
+func TestVetUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte("package online\n\nfunc Span(a, b int64) int64 { return b - a }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	writeCfg := func(extra map[string]any) string {
+		cfg := map[string]any{
+			"ID":          "repro/internal/online",
+			"Compiler":    "gc",
+			"Dir":         dir,
+			"ImportPath":  "repro/internal/online",
+			"GoFiles":     []string{src},
+			"ImportMap":   map[string]string{},
+			"PackageFile": map[string]string{},
+			"VetxOutput":  vetx,
+		}
+		for k, v := range extra {
+			cfg[k] = v
+		}
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "unit.cfg")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if code := driver.VetMain([]string{writeCfg(nil)}, suite.All()); code != 2 {
+		t.Fatalf("unit with findings exited %d, want 2", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+
+	if code := driver.VetMain([]string{writeCfg(map[string]any{"VetxOnly": true})}, suite.All()); code != 0 {
+		t.Fatalf("VetxOnly unit exited %d, want 0", code)
+	}
+}
+
+// TestStandaloneClean runs the real loader over a package that is in no
+// analyzer's scope, exercising `go list -export` plus the gc importer.
+func TestStandaloneClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list")
+	}
+	findings, err := driver.Run("../../..", []string{"repro/internal/safemath"}, suite.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("expected no findings in safemath, got %v", findings)
+	}
+}

@@ -1,0 +1,20 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	defer func(scope []string, deny map[string]string) {
+		nopanic.ScopePrefixes = scope
+		nopanic.Denylisted = deny
+	}(nopanic.ScopePrefixes, nopanic.Denylisted)
+	nopanic.ScopePrefixes = []string{"srv"}
+	nopanic.Denylisted = map[string]string{
+		"panlib.New": "panics on reversed endpoints; validate first",
+	}
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "srv", "panlib")
+}

@@ -1,0 +1,11 @@
+// Package panlib stands in for a library constructor documented to
+// panic on invalid input. It is outside nopanic's scope, so its own
+// panic is not flagged — only calls to it from server code are.
+package panlib
+
+func New(a, b int) int {
+	if b < a {
+		panic("reversed endpoints")
+	}
+	return b - a
+}

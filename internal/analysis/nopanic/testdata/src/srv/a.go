@@ -1,0 +1,43 @@
+// Package srv stands in for internal/server: every way handler or
+// codec code can kill the process or the connection goroutine is
+// flagged; the structured-error path is not.
+package srv
+
+import (
+	"errors"
+	"log"
+	"os"
+
+	"panlib"
+)
+
+var logger = log.New(os.Stderr, "srv ", 0)
+
+func Handle(n int) error {
+	if n < 0 {
+		panic("negative span") // want `panic is forbidden in server code`
+	}
+	if n == 1 {
+		log.Fatalf("bad request %d", n) // want `log.Fatalf is forbidden in server code`
+	}
+	if n == 2 {
+		logger.Panicln("codec failure") // want `log.Panicln is forbidden in server code`
+	}
+	if n == 3 {
+		os.Exit(1) // want `os.Exit is forbidden in server code`
+	}
+	if n == 4 {
+		return errors.New("structured error: the sanctioned path")
+	}
+	_ = panlib.New(0, n) // want `panlib.New panics on reversed endpoints`
+	log.Printf("handled %d", n)
+	return nil
+}
+
+func Validated(a, b int) (int, error) {
+	if b < a {
+		return 0, errors.New("reversed endpoints")
+	}
+	//lint:ignore busylint/nopanic endpoints validated on the line above
+	return panlib.New(a, b), nil
+}

@@ -1,0 +1,23 @@
+package registryhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/registryhygiene"
+)
+
+func TestRegistryhygiene(t *testing.T) {
+	defer func(reg string, algo, concrete, iface []string) {
+		registryhygiene.RegistryPath = reg
+		registryhygiene.AlgoPrefixes = algo
+		registryhygiene.ConcreteResults = concrete
+		registryhygiene.IfaceResults = iface
+	}(registryhygiene.RegistryPath, registryhygiene.AlgoPrefixes,
+		registryhygiene.ConcreteResults, registryhygiene.IfaceResults)
+	registryhygiene.RegistryPath = "reg"
+	registryhygiene.AlgoPrefixes = []string{"algo"}
+	registryhygiene.ConcreteResults = []string{"algo.Schedule"}
+	registryhygiene.IfaceResults = []string{"algo.Strategy"}
+	analysistest.Run(t, "testdata", registryhygiene.Analyzer, "algo", "reg")
+}

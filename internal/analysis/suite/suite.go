@@ -1,0 +1,24 @@
+// Package suite assembles the busylint analyzers in their canonical
+// order. cmd/busylint and the driver tests share this list so the CLI,
+// the vet tool and CI can never disagree about what is enforced.
+package suite
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/coordarith"
+	"repro/internal/analysis/ctxloop"
+	"repro/internal/analysis/detreplay"
+	"repro/internal/analysis/nopanic"
+	"repro/internal/analysis/registryhygiene"
+)
+
+// All returns the five busylint analyzers.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxloop.Analyzer,
+		nopanic.Analyzer,
+		registryhygiene.Analyzer,
+		detreplay.Analyzer,
+		coordarith.Analyzer,
+	}
+}
