@@ -119,6 +119,7 @@ func CliqueMatchingCtx(ctx context.Context, in job.Instance) (Schedule, error) {
 	}
 	s := NewSchedule(in)
 	machine := 0
+	//lint:ignore busylint/ctxloop single O(n) reconstruction pass after the cancellable matching
 	for i := 0; i < n; i++ {
 		if mate[i] > i {
 			s.Assign(i, machine)
@@ -207,6 +208,7 @@ func cliqueSubsetSets(ctx context.Context, in job.Instance) (modified, plain []s
 		// All jobs share a common time, so the union of any subset is a
 		// single interval [min start, max end).
 		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		//lint:ignore busylint/ctxloop subset holds at most g elements; EnumerateSubsetsCtx observes ctx between subsets
 		for _, p := range subset {
 			iv := in.Jobs[p].Interval
 			length += iv.Len()

@@ -88,6 +88,7 @@ func MinBusyCtx(ctx context.Context, in job.Instance) (core.Schedule, error) {
 
 	s := core.NewSchedule(in)
 	machine := 0
+	//lint:ignore busylint/ctxloop reconstruction peels one nonempty machine subset per iteration, at most n ≤ MaxN = 18 steps
 	for mask := size - 1; mask != 0; {
 		q := pick[mask]
 		for m := q; m != 0; m &= m - 1 {
@@ -134,6 +135,7 @@ func MaxWeightThroughput(in job.Instance, budget int64) (core.Schedule, error) {
 func MaxWeightThroughputCtx(ctx context.Context, in job.Instance, budget int64) (core.Schedule, error) {
 	return maxThroughput(ctx, in, budget, func(mask int) int64 {
 		var w int64
+		//lint:ignore busylint/ctxloop popcount walk over one ≤ MaxN = 18 bit mask; the caller's mask scan observes ctx
 		for m := mask; m != 0; m &= m - 1 {
 			w += in.Jobs[bits.TrailingZeros(uint(m))].Weight
 		}
@@ -185,7 +187,12 @@ func maxThroughput(ctx context.Context, in job.Instance, budget int64, value fun
 	bestMask := 0
 	var bestVal int64
 	var bestCost int64
+	// The winner scan visits all 2^n masks and value() is O(n), so it
+	// needs the same strided cancellation point as the DP above.
 	for mask := 0; mask < size; mask++ {
+		if mask%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return core.Schedule{}, ctx.Err()
+		}
 		if cost[mask] > budget {
 			continue
 		}
@@ -197,6 +204,7 @@ func maxThroughput(ctx context.Context, in job.Instance, budget int64, value fun
 
 	s := core.NewSchedule(in)
 	machine := 0
+	//lint:ignore busylint/ctxloop reconstruction peels one nonempty machine subset per iteration, at most n ≤ MaxN = 18 steps
 	for mask := bestMask; mask != 0; {
 		q := pick[mask]
 		for m := q; m != 0; m &= m - 1 {

@@ -50,7 +50,12 @@ func Max(n int, edges []Edge) []int {
 // matching mid-stage.
 func MaxCtx(ctx context.Context, n int, edges []Edge) ([]int, error) {
 	useful := make([]Edge, 0, len(edges))
-	for _, e := range edges {
+	// Clique instances feed Θ(n²) edges through here, so even this
+	// validation pass gets a strided cancellation point.
+	for i, e := range edges {
+		if i%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		if e.U == e.V {
 			panic("matching: self-loop")
 		}
@@ -63,6 +68,7 @@ func MaxCtx(ctx context.Context, n int, edges []Edge) ([]int, error) {
 	}
 	if len(useful) == 0 || n == 0 {
 		mate := make([]int, n)
+		//lint:ignore busylint/ctxloop single O(n) initialization pass; nothing to cancel
 		for i := range mate {
 			mate[i] = -1
 		}
@@ -684,6 +690,7 @@ func (s *solver) solve(ctx context.Context) ([]int, error) {
 	}
 
 	mate := make([]int, n)
+	//lint:ignore busylint/ctxloop single O(n) extraction pass; the stage loop above observes ctx
 	for v := 0; v < n; v++ {
 		if s.mate[v] >= 0 {
 			mate[v] = s.endpoint[s.mate[v]]

@@ -229,6 +229,7 @@ func EnumerateSubsetsCtx(ctx context.Context, n, k int, visit func(subset []int)
 		if len(scratch) == k {
 			return nil
 		}
+		//lint:ignore busylint/ctxloop rec checks the captured ctx at every visited subset on a stride; the loop only drives the recursion
 		for v := start; v < n; v++ {
 			scratch = append(scratch, v)
 			err := rec(v + 1)
