@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/job"
+	"repro/internal/safemath"
 )
 
 // FlexJob is a flexible job in the commitment model of Albers and van der
@@ -29,7 +30,7 @@ func NewFlexJob(id int, release, deadline, length int64) FlexJob {
 
 // Slack returns the window's scheduling freedom, Window.Len() − Len. A
 // slack of 0 makes the job rigid.
-func (f FlexJob) Slack() int64 { return f.Window.Len() - f.Len }
+func (f FlexJob) Slack() int64 { return safemath.SatSub(f.Window.Len(), f.Len) }
 
 // Validate reports the first structural problem with the flexible job.
 func (f FlexJob) Validate() error {
@@ -46,7 +47,9 @@ func (f FlexJob) Validate() error {
 // rigid job [start, start+Len). It errors when the start violates the
 // window.
 func (f FlexJob) Rigid(start int64) (job.Job, error) {
-	end := start + f.Len
+	// Saturation keeps an adversarial start from wrapping end negative;
+	// a clamped end simply fails the window check below.
+	end := safemath.SatAdd(start, f.Len)
 	if start < f.Window.Start || end > f.Window.End {
 		return job.Job{}, fmt.Errorf("online: flex job %d start %d puts [%d,%d) outside window %v", f.ID, start, start, end, f.Window)
 	}
@@ -100,8 +103,8 @@ func (startAligned) Choose(open []*Machine, f FlexJob) int64 {
 	if !found {
 		return f.Window.Start
 	}
-	latest := f.Window.End - f.Len
-	s := maxEnd - f.Len
+	latest := safemath.SatSub(f.Window.End, f.Len)
+	s := safemath.SatSub(maxEnd, f.Len)
 	if s > latest {
 		s = latest
 	}

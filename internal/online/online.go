@@ -32,6 +32,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/itree"
 	"repro/internal/job"
+	"repro/internal/safemath"
 )
 
 // Machine is one open machine's state during a replay: up to g threads of
@@ -82,7 +83,7 @@ func (m *Machine) Fits(iv interval.Interval) bool {
 // BestFit and the budgeted admission control both price placements with
 // it. Opening a fresh machine costs iv.Len().
 func (m *Machine) MarginalCost(iv interval.Interval) int64 {
-	return m.busy.Hull(iv).Len() - m.busy.Len()
+	return safemath.SatSub(m.busy.Hull(iv).Len(), m.busy.Len())
 }
 
 // add places iv on the first accepting thread, opening a new thread when
@@ -260,10 +261,10 @@ func (sim *simulator) place(j job.Job, st Strategy) (Placement, error) {
 	}
 	if idx == RejectJob {
 		sim.rejected++
-		sim.rejectedWeight += j.Weight
+		sim.rejectedWeight = safemath.SatAdd(sim.rejectedWeight, j.Weight)
 		return Placement{Machine: RejectJob, Rejected: true}, nil
 	}
-	sim.admittedWeight += j.Weight
+	sim.admittedWeight = safemath.SatAdd(sim.admittedWeight, j.Weight)
 	if idx >= 0 {
 		m := sim.open[idx]
 		marginal := m.MarginalCost(j.Interval)

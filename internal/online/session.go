@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/job"
+	"repro/internal/safemath"
 	"repro/internal/stats"
 )
 
@@ -40,18 +41,21 @@ func NewRatioTracker(g int) *RatioTracker {
 // Observe records one admitted arrival: its interval (start must be >= every
 // earlier observed start) and the busy time its placement added.
 func (t *RatioTracker) Observe(iv interval.Interval, marginal int64) {
-	t.totalLen += iv.Len()
-	t.cost += marginal
+	// Σ len saturates rather than wraps: a stream of ~4M wire-capped
+	// (2^40) lengths is enough to pass MaxInt64, and a wrapped total
+	// would report a bogus competitive ratio instead of a clamped one.
+	t.totalLen = safemath.SatAdd(t.totalLen, iv.Len())
+	t.cost = safemath.SatAdd(t.cost, marginal)
 	switch {
 	case !t.started:
 		t.covered = iv.Len()
 		t.frontier = iv.End
 		t.started = true
 	case iv.Start >= t.frontier:
-		t.covered += iv.Len()
+		t.covered = safemath.SatAdd(t.covered, iv.Len())
 		t.frontier = iv.End
 	case iv.End > t.frontier:
-		t.covered += iv.End - t.frontier
+		t.covered = safemath.SatAdd(t.covered, safemath.SatSub(iv.End, t.frontier))
 		t.frontier = iv.End
 	}
 }
@@ -62,7 +66,7 @@ func (t *RatioTracker) Cost() int64 { return t.cost }
 // LowerBound returns max(⌈len/g⌉, span) over the admitted arrivals so far —
 // Observation 2.1 applied to the prefix.
 func (t *RatioTracker) LowerBound() int64 {
-	pb := (t.totalLen + t.g - 1) / t.g
+	pb := safemath.CeilDiv(t.totalLen, t.g)
 	if t.covered > pb {
 		return t.covered
 	}
@@ -220,9 +224,9 @@ func (r Result) Summarize() Summary {
 	for i, j := range in.Jobs {
 		if complete && r.Schedule.Machine[i] != core.Unscheduled {
 			admitted.Jobs = append(admitted.Jobs, j)
-			admittedW += j.Weight
+			admittedW = safemath.SatAdd(admittedW, j.Weight)
 		} else {
-			rejectedW += j.Weight
+			rejectedW = safemath.SatAdd(rejectedW, j.Weight)
 		}
 	}
 	var lb int64

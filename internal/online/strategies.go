@@ -1,10 +1,10 @@
 package online
 
 import (
-	"math"
 	"math/bits"
 
 	"repro/internal/job"
+	"repro/internal/safemath"
 )
 
 // Naive returns the per-job baseline: every arrival opens its own machine.
@@ -64,6 +64,7 @@ func (buckets) Pick(open []*Machine, j job.Job) (int, int64) {
 
 // lenClass returns ⌈log₂ l⌉, the doubling bucket of a length l >= 1.
 func lenClass(l int64) int64 {
+	//lint:ignore busylint/coordarith l >= 1 is a Validate precondition, so l-1 cannot underflow
 	return int64(bits.Len64(uint64(l - 1)))
 }
 
@@ -152,29 +153,13 @@ func (b *budgeted) Pick(open []*Machine, j job.Job) (int, int64) {
 		// wire caps (lengths and weights up to 2^40) the products can
 		// pass 2^53, where a float64 comparison could round in the
 		// admitting direction and break the never-overspends guarantee.
-		if mulGreater(cost, saturatingAdd(b.admittedWeight, w), b.remaining, w) {
+		if safemath.Mul128Greater(cost, safemath.SatAdd(b.admittedWeight, w), b.remaining, w) {
 			return RejectJob, 0
 		}
-		b.remaining -= cost
+		b.remaining = safemath.SatSub(b.remaining, cost)
 	}
-	b.admittedWeight = saturatingAdd(b.admittedWeight, w)
+	// Clamping the admitted-weight total at MaxInt64 only tightens the
+	// admission test, so saturation errs toward rejection, never wrap.
+	b.admittedWeight = safemath.SatAdd(b.admittedWeight, w)
 	return idx, 0
-}
-
-// mulGreater reports a·b > c·d exactly for non-negative int64 operands,
-// via 128-bit products.
-func mulGreater(a, b, c, d int64) bool {
-	hi1, lo1 := bits.Mul64(uint64(a), uint64(b))
-	hi2, lo2 := bits.Mul64(uint64(c), uint64(d))
-	return hi1 > hi2 || (hi1 == hi2 && lo1 > lo2)
-}
-
-// saturatingAdd adds non-negative int64s, clamping at MaxInt64: an
-// admitted-weight total that large only tightens the admission test, so
-// clamping errs toward rejection instead of wrapping around.
-func saturatingAdd(a, b int64) int64 {
-	if a > math.MaxInt64-b {
-		return math.MaxInt64
-	}
-	return a + b
 }

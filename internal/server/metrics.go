@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/safemath"
 )
 
 // latencyBounds are the solve-latency histogram bucket upper bounds in
@@ -62,7 +64,7 @@ func (h *histogram) writeTo(w io.Writer, name, labels string) {
 	var total int64
 	for i := range h.counts {
 		counts[i] = h.counts[i].Load()
-		total += counts[i]
+		total = safemath.SatAdd(total, counts[i])
 	}
 	sep := ""
 	if labels != "" {
@@ -70,7 +72,7 @@ func (h *histogram) writeTo(w io.Writer, name, labels string) {
 	}
 	var cum int64
 	for i, b := range h.bounds {
-		cum += counts[i]
+		cum = safemath.SatAdd(cum, counts[i])
 		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), cum)
 	}
 	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
