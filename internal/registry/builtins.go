@@ -57,16 +57,19 @@ func init() {
 	// MinBusy algorithms, weakest to strongest.
 	MustRegister(Algorithm{
 		Name: "naive-per-job", Aliases: []string{"naive"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "g", Ratio: gRatio, Ref: "Proposition 2.1", Strength: 0,
 		SolveMinBusy: minBusy(core.NaivePerJob),
 	})
 	MustRegister(Algorithm{
 		Name: "first-fit-fast", Aliases: []string{"firstfitfast"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "4 (2 on proper and clique)", Ratio: firstFitRatio, Ref: "Flammini et al. [13], treap threads", Strength: 5,
 		SolveMinBusy: minBusy(core.FirstFitFast),
 	})
 	MustRegister(Algorithm{
 		Name: "first-fit", Aliases: []string{"firstfit", "ff"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "4 (2 on proper and clique)", Ratio: firstFitRatio, Ref: "Flammini et al. [13]", Strength: 10,
 		SolveMinBusy: minBusy(core.FirstFit),
 	})
@@ -103,6 +106,7 @@ func init() {
 	})
 	MustRegister(Algorithm{
 		Name: "exact", Aliases: []string{"exact-min-busy"}, Kind: MinBusy,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "exact (n ≤ 18)", Ratio: exactRatio, Exact: true, Oracle: true, Ref: "subset DP oracle",
 		SolveMinBusy: exact.MinBusyCtx,
 	})
@@ -110,6 +114,7 @@ func init() {
 	// MaxThroughput algorithms.
 	MustRegister(Algorithm{
 		Name: "greedy-throughput", Aliases: []string{"greedy"}, Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "heuristic", Ref: "general fallback (open question)", Strength: 10,
 		SolveThroughput: func(_ context.Context, in job.Instance, budget int64) (core.Schedule, error) {
 			return core.GreedyThroughput(in, budget), nil
@@ -147,11 +152,13 @@ func init() {
 	})
 	MustRegister(Algorithm{
 		Name: "exact-throughput", Aliases: []string{"throughput-exact"}, Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "exact (n ≤ 18)", Ratio: exactRatio, Exact: true, Oracle: true, Ref: "subset DP oracle",
 		SolveThroughput: exact.MaxThroughputCtx,
 	})
 	MustRegister(Algorithm{
 		Name: "exact-weight-throughput", Aliases: []string{"weight-exact"}, Kind: MaxThroughput,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "exact weighted (n ≤ 18)", Ratio: exactRatio, Weighted: true, Exact: true, Oracle: true, Ref: "subset DP oracle",
 		SolveThroughput: exact.MaxWeightThroughputCtx,
 	})
@@ -159,6 +166,7 @@ func init() {
 	// Two-dimensional MinBusy algorithms (Section 3.4).
 	MustRegister(Algorithm{
 		Name: "naive-2d", Aliases: []string{"naive", "naive-per-job-2d"}, Kind: MinBusy2D,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "g", Ratio: gRatio, Ref: "per-job baseline", Strength: 0,
 		SolveRect: func(_ context.Context, in job.RectInstance) (core.RectSchedule, error) {
 			return core.NaivePerJob2D(in), nil
@@ -166,6 +174,7 @@ func init() {
 	})
 	MustRegister(Algorithm{
 		Name: "first-fit-2d", Aliases: []string{"ff2d"}, Kind: MinBusy2D,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "6γ₁+3 … 6γ₁+4", Ref: "Lemma 3.5, Algorithm 3", Strength: 10,
 		SolveRect: func(_ context.Context, in job.RectInstance) (core.RectSchedule, error) {
 			return core.FirstFit2D(in), nil
@@ -173,6 +182,7 @@ func init() {
 	})
 	MustRegister(Algorithm{
 		Name: "bucket-first-fit", Aliases: []string{"bucket"}, Kind: MinBusy2D,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "min(g, O(log min(γ₁,γ₂)))", Ref: "Theorem 3.3, Algorithm 4 (β = 3.3)", Strength: 20,
 		SolveRect: func(_ context.Context, in job.RectInstance) (core.RectSchedule, error) {
 			return core.BucketFirstFitAuto(in)
@@ -180,6 +190,7 @@ func init() {
 	})
 	MustRegister(Algorithm{
 		Name: "exact-2d", Aliases: []string{"exact-rect"}, Kind: MinBusy2D,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "exact (n ≤ 7)", Ratio: exactRatio, Exact: true, Oracle: true,
 		Ref:       "exhaustive rectangle assignment oracle",
 		SolveRect: exact.MinBusyRectCtx,
@@ -190,26 +201,31 @@ func init() {
 	// stretch of mixed-length machines, Naive is the g-competitive floor.
 	MustRegister(Algorithm{
 		Name: "online-naive", Aliases: []string{"naive"}, Kind: Online,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "g-competitive", Ratio: gRatio, Ref: "online Proposition 2.1 baseline", Strength: 0,
 		NewStrategy: online.Naive,
 	})
 	MustRegister(Algorithm{
 		Name: "online-buckets", Aliases: []string{"buckets"}, Kind: Online,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "empirical (doubling length classes)", Ref: "Albers–van der Heijden-style bucketing", Strength: 10,
 		NewStrategy: online.Buckets,
 	})
 	MustRegister(Algorithm{
 		Name: "online-firstfit", Aliases: []string{"firstfit"}, Kind: Online,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "empirical (Ω(g) adversarial lower bound)", Ref: "online FirstFit", Strength: 20,
 		NewStrategy: online.FirstFit,
 	})
 	MustRegister(Algorithm{
 		Name: "online-bestfit", Aliases: []string{"bestfit"}, Kind: Online,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "empirical (marginal-cost greedy)", Ref: "online BestFit (min busy-time extension)", Strength: 30,
 		NewStrategy: online.BestFit,
 	})
 	MustRegister(Algorithm{
 		Name: "online-budget", Aliases: []string{"budget", "admission"}, Kind: Online,
+		Classes:   []igraph.Class{igraph.General},
 		Guarantee: "empirical (BestFit + weighted budget admission; never overspends)",
 		Ref:       "weighted online throughput with admission control (Section 5 weights)", Strength: 5,
 		NewStrategy: func() online.Strategy { return online.Budgeted(0) },
