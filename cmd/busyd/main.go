@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -69,9 +70,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Bind before announcing so `-addr 127.0.0.1:0` reports the port the
+	// kernel actually chose. The one-line stdout announcement is a
+	// machine-readable contract: scripts (CI's stream smoke test) parse
+	// the address from it instead of guessing a free port up front.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "busyd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("busyd: listening on %s\n", ln.Addr())
 	log.Printf("busyd: listening on %s (workers=%d max-inflight=%d max-jobs=%d)",
-		*addr, *workers, *maxInFlight, *maxJobs)
-	if err := srv.Run(ctx, *addr); err != nil {
+		ln.Addr(), *workers, *maxInFlight, *maxJobs)
+	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintln(os.Stderr, "busyd:", err)
 		os.Exit(1)
 	}
