@@ -1,0 +1,276 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// buildBusyd compiles the daemon binary once into dir so the crash test
+// exercises the real process boundary (SIGKILL, fsync, restart) rather
+// than an in-process cancel.
+func buildBusyd(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "busyd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building busyd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startBusyd launches the daemon on a kernel-chosen port with the given
+// journal file and returns the process and its base URL, parsed from the
+// one-line stdout announcement.
+func startBusyd(t *testing.T, bin, journalFile string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-journal", journalFile, "-quiet")
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("busyd exited before announcing its address")
+	}
+	line := sc.Text()
+	const prefix = "busyd: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected announcement %q", line)
+	}
+	go io.Copy(io.Discard, stdout)
+	base := "http://" + strings.TrimPrefix(line, prefix)
+	waitHealthy(t, base)
+	return cmd, base
+}
+
+func encodeArrivals(t *testing.T, w io.Writer, jobs []job.Job) {
+	t.Helper()
+	enc := json.NewEncoder(w)
+	for _, j := range jobs {
+		if err := enc.Encode(server.StreamArrival{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// confirmEvents feeds exactly the given arrivals into an open stream and
+// blocks until each one's placement event has been emitted — which the
+// daemon only does after the arrival is fsynced into the journal. The
+// connection is left open: the caller supplies the crash.
+func confirmEvents(t *testing.T, base string, open server.StreamOpen, jobs []job.Job) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		enc := json.NewEncoder(pw)
+		if enc.Encode(open) != nil {
+			return
+		}
+		for _, j := range jobs {
+			if enc.Encode(server.StreamArrival{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight}) != nil {
+				return
+			}
+		}
+		// No pw.Close(): EOF would close the journal cleanly.
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close(); pw.CloseWithError(io.ErrClosedPipe) })
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status %s: %s", resp.Status, body)
+	}
+	dec := json.NewDecoder(resp.Body)
+	seen := 0
+	for seen < len(jobs) {
+		var ev server.StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("after %d confirmed events: %v", seen, err)
+		}
+		switch ev.Type {
+		case server.StreamEventOpen:
+		case server.StreamEventError:
+			t.Fatalf("daemon error: %s", ev.Error)
+		default:
+			seen++
+		}
+	}
+}
+
+// streamToClose runs a stream (fresh or resumed) to its clean end and
+// returns the raw NDJSON close line exactly as the daemon wrote it, plus
+// the open event.
+func streamToClose(t *testing.T, url string, header *server.StreamOpen, jobs []job.Job) (server.StreamEvent, []byte) {
+	t.Helper()
+	var body bytes.Buffer
+	if header != nil {
+		if err := json.NewEncoder(&body).Encode(header); err != nil {
+			t.Fatal(err)
+		}
+	}
+	encodeArrivals(t, &body, jobs)
+	resp, err := http.Post(url, "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status %s: %s", resp.Status, out)
+	}
+	var openEv server.StreamEvent
+	var closeLine []byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev server.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("decoding event line %q: %v", line, err)
+		}
+		switch ev.Type {
+		case server.StreamEventOpen:
+			openEv = ev
+		case server.StreamEventError:
+			t.Fatalf("daemon error: %s", ev.Error)
+		case server.StreamEventClose:
+			closeLine = append([]byte(nil), line...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if closeLine == nil {
+		t.Fatal("stream ended without a close event")
+	}
+	return openEv, closeLine
+}
+
+// TestBusydSigkillResume is the crash-durability e2e: SIGKILL the daemon
+// mid-stream, restart it on the same journal file, resume the session,
+// and require the close report — certificate chain included — to be
+// byte-equal to the same session streamed uninterrupted against a fresh
+// daemon and journal.
+func TestBusydSigkillResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildBusyd(t, dir)
+
+	const session = "crash-1"
+	in := workload.WeightedArrivals(11, workload.Config{N: 90, G: 4, MaxTime: 600, MaxLen: 50})
+	open := server.StreamOpen{G: in.G, Strategy: "online-bestfit", Session: session}
+	kill := 31
+
+	// Phase 1: stream the first kill arrivals, confirm their events
+	// (journaled + fsynced), then SIGKILL the daemon.
+	journalA := filepath.Join(dir, "journal-a.ndjson")
+	procA, baseA := startBusyd(t, bin, journalA)
+	confirmEvents(t, baseA, open, in.Jobs[:kill])
+	if err := procA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procA.Wait()
+
+	// Phase 2: restart on the same journal and resume from seq kill.
+	_, baseB := startBusyd(t, bin, journalA)
+	resumeURL := fmt.Sprintf("%s/v1/stream?resume=%s&seq=%d", baseB, session, kill)
+	openEv, closeResumed := streamToClose(t, resumeURL, nil, in.Jobs[kill:])
+	if !openEv.Resumed {
+		t.Fatal("resumed stream's open event does not say resumed")
+	}
+	if openEv.Arrivals != kill {
+		t.Fatalf("journal recovered %d arrivals, want %d", openEv.Arrivals, kill)
+	}
+
+	// Phase 3: the same session uninterrupted, fresh daemon and journal.
+	journalB := filepath.Join(dir, "journal-b.ndjson")
+	_, baseC := startBusyd(t, bin, journalB)
+	_, closeClean := streamToClose(t, baseC+"/v1/stream", &open, in.Jobs)
+
+	if !bytes.Equal(closeResumed, closeClean) {
+		t.Errorf("kill+resume close report diverges from uninterrupted run\n resumed: %s\n clean:   %s", closeResumed, closeClean)
+	}
+}
+
+// TestBusydRefusesCorruptJournal flips one byte in an interior journal
+// record and checks the restarted daemon refuses to serve it: durable
+// state that fails verification must never be resumed silently.
+func TestBusydRefusesCorruptJournal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := buildBusyd(t, dir)
+
+	const session = "corrupt-1"
+	in := workload.Arrivals(13, workload.Config{N: 40, G: 3, MaxTime: 300, MaxLen: 30})
+	open := server.StreamOpen{G: in.G, Strategy: "online-firstfit", Session: session}
+
+	journalFile := filepath.Join(dir, "journal.ndjson")
+	procA, baseA := startBusyd(t, bin, journalFile)
+	confirmEvents(t, baseA, open, in.Jobs[:10])
+	if err := procA.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	procA.Wait()
+
+	// Break the JSON structure of an interior line: unlike a torn tail,
+	// interior corruption must not be silently truncated away.
+	data, err := os.ReadFile(journalFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.IndexByte(data, '\n')
+	if first < 0 || first+1 >= len(data) {
+		t.Fatalf("journal too short to corrupt: %d bytes", len(data))
+	}
+	data[first+1] = 'z' // second record no longer starts with '{'
+	if err := os.WriteFile(journalFile, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-journal", journalFile, "-quiet")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = io.Discard
+	err = cmd.Run()
+	if err == nil {
+		t.Fatal("daemon started cleanly on a corrupted journal")
+	}
+	if !strings.Contains(stderr.String(), "corrupted") {
+		t.Errorf("stderr %q does not name the corruption", stderr.String())
+	}
+}

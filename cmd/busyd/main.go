@@ -7,10 +7,14 @@
 //	POST /v1/solve/batch  solve a batch over the worker pool
 //	POST /v1/stream       NDJSON online session: arrivals in, one
 //	                      placement event per arrival out, live
-//	                      competitive-ratio telemetry, close report
+//	                      competitive-ratio telemetry, close report;
+//	                      ?resume=<session>&seq=<n> continues an
+//	                      interrupted journaled session
+//	GET  /v1/stream/journal  a session's hash-chained journal (NDJSON)
 //	GET  /v1/algorithms   the algorithm registry
 //	GET  /healthz         liveness
 //	GET  /metrics         plain-text counters (Prometheus exposition)
+//	GET  /debug/pprof     profiling (only with -pprof)
 //
 // Every response carries the Result.Certificate() verdict and the
 // machine assignment, so clients can re-verify schedules locally.
@@ -19,6 +23,10 @@
 //
 //	busyd -addr :8080 -workers 0 -max-inflight 64 -max-jobs 10000
 //	busyd -addr :8080 -algo first-fit-fast
+//	busyd -addr :8080 -journal /var/lib/busyd/journal.ndjson
+//
+// With -journal, stream sessions survive a daemon crash: restart busyd
+// on the same file and clients resume with POST /v1/stream?resume=.
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes immediately,
 // in-flight solves get -drain-timeout to finish.
@@ -35,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -49,19 +58,43 @@ func main() {
 		maxBatch     = flag.Int("max-batch", 1024, "max requests per batch (0 = unlimited)")
 		maxBody      = flag.Int64("max-body-bytes", 8<<20, "max request body bytes")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain bound")
+		journalPath  = flag.String("journal", "", "durable stream journal file (default: in-memory, lost on exit)")
+		streamBatch  = flag.Int("stream-batch", 0, "stream micro-batch size cap (0 = default)")
+		streamWait   = flag.Duration("stream-batch-wait", 0, "stream micro-batch flush deadline (0 = greedy, flush whatever queued)")
+		pprofOn      = flag.Bool("pprof", false, "serve /debug/pprof (off by default)")
+		quiet        = flag.Bool("quiet", false, "suppress the per-request JSON log on stderr")
 	)
 	flag.Parse()
 
-	srv, err := server.New(server.Config{
-		Algorithm:    *algo,
-		Workers:      *workers,
-		Budget:       *budget,
-		MaxInFlight:  *maxInFlight,
-		MaxJobs:      *maxJobs,
-		MaxBatch:     *maxBatch,
-		MaxBodyBytes: *maxBody,
-		DrainTimeout: *drainTimeout,
-	})
+	cfg := server.Config{
+		Algorithm:       *algo,
+		Workers:         *workers,
+		Budget:          *budget,
+		MaxInFlight:     *maxInFlight,
+		MaxJobs:         *maxJobs,
+		MaxBatch:        *maxBatch,
+		MaxBodyBytes:    *maxBody,
+		DrainTimeout:    *drainTimeout,
+		StreamBatch:     *streamBatch,
+		StreamBatchWait: *streamWait,
+		EnablePprof:     *pprofOn,
+	}
+	if !*quiet {
+		// One JSON line per request / stream event. Stderr: stdout is
+		// reserved for the machine-readable address announcement.
+		cfg.RequestLog = os.Stderr
+	}
+	if *journalPath != "" {
+		store, err := journal.OpenFileStore(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "busyd:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		cfg.Journal = store
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "busyd:", err)
 		os.Exit(1)

@@ -31,6 +31,7 @@ import (
 var ScopePrefixes = []string{
 	"repro/internal/online",
 	"repro/internal/server",
+	"repro/internal/journal",
 }
 
 // Analyzer is the busylint/coordarith analyzer.

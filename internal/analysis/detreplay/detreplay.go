@@ -1,7 +1,8 @@
 // Package detreplay protects the byte-equality contract between a
-// /v1/stream session's close report and its offline replay, and the
-// reproducibility of every conformance finding: the replay/session and
-// conformance packages must be deterministic functions of their inputs.
+// /v1/stream session's close report and its offline replay, the
+// reproducibility of every conformance finding, and the determinism of
+// the placement journal's hash chain: the replay/session, conformance
+// and journal packages must be deterministic functions of their inputs.
 //
 // Three nondeterminism sources are forbidden in scope:
 //
@@ -28,6 +29,7 @@ import (
 var ScopePrefixes = []string{
 	"repro/internal/online",
 	"repro/internal/conformance",
+	"repro/internal/journal",
 }
 
 // Analyzer is the busylint/detreplay analyzer.

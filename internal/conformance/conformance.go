@@ -44,6 +44,8 @@ import (
 	"repro/internal/exact"
 	"repro/internal/igraph"
 	"repro/internal/job"
+	"repro/internal/journal"
+	"repro/internal/online"
 	"repro/internal/registry"
 )
 
@@ -374,6 +376,14 @@ func checkMinBusyLike(ctx context.Context, alg registry.Algorithm, in job.Instan
 		}
 	}
 
+	// Online algorithms additionally honor the durable-journal invariant:
+	// journal replay ≡ live session ≡ offline replay.
+	if alg.Kind == registry.Online {
+		if jerr := checkJournalReplay(alg, in, res); jerr != nil {
+			return jerr
+		}
+	}
+
 	// (d) metamorphic invariants. A variant the algorithm rejects (e.g.
 	// duplication doubles g out of a g = 2-only algorithm's scope) is
 	// skipped, not failed.
@@ -414,6 +424,36 @@ func checkMinBusyLike(ctx context.Context, alg registry.Algorithm, in job.Instan
 		return ctx.Err()
 	}
 
+	return nil
+}
+
+// checkJournalReplay is the durable-streams metamorphic invariant for
+// online strategies: journaling the arrival-sorted instance through a
+// session must yield a hash chain that verifies (journal.Certify replays
+// and re-checks it internally) and a summary cost equal to the solver's
+// — journal replay ≡ live session ≡ offline replay.
+func checkJournalReplay(alg registry.Algorithm, in job.Instance, res busytime.Result) error {
+	if _, budgeted := alg.NewStrategy().(online.BudgetSetter); budgeted {
+		// Admission-control strategies journal only with a positive
+		// budget; their journaled invariants live in the journal package's
+		// own tests.
+		return nil
+	}
+	sorted := in.SortedByStart()
+	arrs := make([]journal.Arrival, len(sorted.Jobs))
+	for i, j := range sorted.Jobs {
+		arrs[i] = journal.ArrivalOf(j)
+	}
+	_, cert, err := journal.Certify("conformance", journal.OpenParams{G: in.G, Strategy: alg.Name}, arrs)
+	if err != nil {
+		return violationf("journal-replay", "journaled session failed to certify: %v", err)
+	}
+	if cert.Summary.Cost != res.Cost {
+		return violationf("journal-replay", "journaled session cost %d, solver cost %d", cert.Summary.Cost, res.Cost)
+	}
+	if cert.Arrivals != len(in.Jobs) {
+		return violationf("journal-replay", "journal holds %d arrivals for %d jobs", cert.Arrivals, len(in.Jobs))
+	}
 	return nil
 }
 

@@ -1,0 +1,379 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testArrivals builds a deterministic non-decreasing arrival sequence
+// with mixed overlaps and weights.
+func testArrivals(n int) []Arrival {
+	arrs := make([]Arrival, n)
+	for i := range arrs {
+		start := int64(3 * i)
+		length := int64(5 + (i*i)%11)
+		arrs[i] = Arrival{ID: i, Start: start, End: start + length, Weight: int64(1 + i%3)}
+	}
+	return arrs
+}
+
+func plainParams() OpenParams {
+	return OpenParams{G: 3, Strategy: "online-bestfit"}
+}
+
+func budgetParams() OpenParams {
+	return OpenParams{G: 2, Strategy: "online-budget", Budget: 40}
+}
+
+func TestCertifyRoundTrip(t *testing.T) {
+	for name, p := range map[string]OpenParams{"plain": plainParams(), "budget": budgetParams()} {
+		t.Run(name, func(t *testing.T) {
+			arrs := testArrivals(9)
+			recs, cert, err := Certify("s-"+name, p, arrs)
+			if err != nil {
+				t.Fatalf("Certify: %v", err)
+			}
+			if cert.Arrivals != len(arrs) || cert.Entries != len(arrs)+2 {
+				t.Fatalf("certificate counts %d/%d, want %d/%d", cert.Arrivals, cert.Entries, len(arrs), len(arrs)+2)
+			}
+			if cert.G != p.G || cert.Budget != p.Budget || cert.Strategy != p.Strategy {
+				t.Fatalf("certificate params %+v do not echo %+v", cert, p)
+			}
+			if cert.Chain != recs[len(recs)-1].Hash {
+				t.Fatalf("certificate chain %s is not the tail hash %s", cert.Chain, recs[len(recs)-1].Hash)
+			}
+			if cert.Summary.Arrivals != len(arrs) {
+				t.Fatalf("summary arrivals %d, want %d", cert.Summary.Arrivals, len(arrs))
+			}
+			if p.Budget > 0 && cert.Summary.Rejected == 0 {
+				t.Fatalf("budgeted session rejected nothing; want admission-control rejections in the journal")
+			}
+
+			// The encoded journal must survive a byte round trip.
+			var buf bytes.Buffer
+			if err := EncodeRecords(&buf, recs); err != nil {
+				t.Fatalf("EncodeRecords: %v", err)
+			}
+			back, err := DecodeRecords(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("DecodeRecords: %v", err)
+			}
+			cert2, err := Verify(back)
+			if err != nil {
+				t.Fatalf("Verify after round trip: %v", err)
+			}
+			if cert2 != cert {
+				t.Fatalf("round-tripped certificate %+v != %+v", cert2, cert)
+			}
+		})
+	}
+}
+
+// TestVerifyRejectsSingleByteCorruption is the acceptance criterion in
+// its sharpest form: flip every single byte of the encoded journal, one
+// at a time, and require every flip to be rejected — by the JSON
+// decoder, the hash chain, or the replay comparison.
+func TestVerifyRejectsSingleByteCorruption(t *testing.T) {
+	for name, p := range map[string]OpenParams{"plain": plainParams(), "budget": budgetParams()} {
+		t.Run(name, func(t *testing.T) {
+			recs, _, err := Certify("corrupt-"+name, p, testArrivals(6))
+			if err != nil {
+				t.Fatalf("Certify: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := EncodeRecords(&buf, recs); err != nil {
+				t.Fatalf("EncodeRecords: %v", err)
+			}
+			raw := buf.Bytes()
+			for i := range raw {
+				mutated := bytes.Clone(raw)
+				mutated[i] ^= 0x01
+				got, err := DecodeRecords(bytes.NewReader(mutated))
+				if err != nil {
+					continue // rejected at the decode layer
+				}
+				if _, err := Verify(got); err == nil {
+					t.Fatalf("flipping byte %d (%q -> %q) went undetected", i, raw[i], mutated[i])
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsTruncation(t *testing.T) {
+	recs, _, err := Certify("trunc", plainParams(), testArrivals(5))
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	for n := 0; n < len(recs); n++ {
+		if _, err := Verify(recs[:n]); err == nil {
+			t.Fatalf("Verify accepted a journal truncated to %d of %d records", n, len(recs))
+		}
+	}
+	// Truncating records off the tail leaves a valid-but-unclosed chain;
+	// Replay must accept it (that is what resume does) while Verify
+	// refuses to certify it.
+	if _, err := Replay(recs[:3]); err != nil {
+		t.Fatalf("Replay rejected a valid unclosed prefix: %v", err)
+	}
+}
+
+func TestVerifyRejectsRecordSurgery(t *testing.T) {
+	recs, _, err := Certify("surgery", plainParams(), testArrivals(5))
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	// Dropping an interior record, swapping two records, and replaying a
+	// record twice all break the chain even though every individual
+	// record still carries a valid seal.
+	drop := append(append([]Record{}, recs[:2]...), recs[3:]...)
+	if _, err := Verify(drop); err == nil {
+		t.Fatal("Verify accepted a journal with an interior record dropped")
+	}
+	swapped := append([]Record{}, recs...)
+	swapped[2], swapped[3] = swapped[3], swapped[2]
+	if _, err := Verify(swapped); err == nil {
+		t.Fatal("Verify accepted a journal with two records swapped")
+	}
+	doubled := append(append([]Record{}, recs[:3]...), recs[2:]...)
+	if _, err := Verify(doubled); err == nil {
+		t.Fatal("Verify accepted a journal with a record replayed twice")
+	}
+}
+
+// TestResumeMatchesUninterrupted is the resume contract at the journal
+// layer: interrupt a session after k arrivals, rebuild it by replay,
+// continue with the remaining arrivals, and require the full journal —
+// every byte, every hash — to equal the uninterrupted run's.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	for name, p := range map[string]OpenParams{"plain": plainParams(), "budget": budgetParams()} {
+		t.Run(name, func(t *testing.T) {
+			arrs := testArrivals(12)
+			whole, wholeCert, err := Certify("resume-"+name, p, arrs)
+			if err != nil {
+				t.Fatalf("Certify: %v", err)
+			}
+
+			for k := 0; k <= len(arrs); k++ {
+				store := NewMemStore()
+				w, err := NewWriter(store, "resume-"+name, p)
+				if err != nil {
+					t.Fatalf("NewWriter: %v", err)
+				}
+				sess, _, err := SessionFor(p)
+				if err != nil {
+					t.Fatalf("SessionFor: %v", err)
+				}
+				for _, a := range arrs[:k] {
+					j, err := a.Job()
+					if err != nil {
+						t.Fatalf("Job: %v", err)
+					}
+					ev, err := sess.Offer(j)
+					if err != nil {
+						t.Fatalf("Offer: %v", err)
+					}
+					if _, err := w.StageEvent(a, ev); err != nil {
+						t.Fatalf("StageEvent: %v", err)
+					}
+				}
+				if err := w.Commit(); err != nil {
+					t.Fatalf("Commit: %v", err)
+				}
+				// The interrupted writer is dropped here — the crash.
+
+				recs, err := store.Read("resume-" + name)
+				if err != nil {
+					t.Fatalf("Read: %v", err)
+				}
+				state, err := Replay(recs)
+				if err != nil {
+					t.Fatalf("Replay after %d arrivals: %v", k, err)
+				}
+				if state.Arrivals != k || state.Session.Arrivals() != k {
+					t.Fatalf("replayed %d arrivals, session reports %d, want %d", state.Arrivals, state.Session.Arrivals(), k)
+				}
+				w2, err := ResumeWriter(store, state)
+				if err != nil {
+					t.Fatalf("ResumeWriter: %v", err)
+				}
+				for _, a := range arrs[k:] {
+					j, err := a.Job()
+					if err != nil {
+						t.Fatalf("Job: %v", err)
+					}
+					ev, err := state.Session.Offer(j)
+					if err != nil {
+						t.Fatalf("Offer after resume: %v", err)
+					}
+					if _, err := w2.StageEvent(a, ev); err != nil {
+						t.Fatalf("StageEvent after resume: %v", err)
+					}
+				}
+				chain, err := w2.Close(state.Session.Summary())
+				if err != nil {
+					t.Fatalf("Close after resume: %v", err)
+				}
+				if chain != wholeCert.Chain {
+					t.Fatalf("resume at %d: chain %s != uninterrupted %s", k, chain, wholeCert.Chain)
+				}
+				got, err := store.Read("resume-" + name)
+				if err != nil {
+					t.Fatalf("Read: %v", err)
+				}
+				var gotB, wantB bytes.Buffer
+				if err := EncodeRecords(&gotB, got); err != nil {
+					t.Fatalf("EncodeRecords: %v", err)
+				}
+				if err := EncodeRecords(&wantB, whole); err != nil {
+					t.Fatalf("EncodeRecords: %v", err)
+				}
+				if !bytes.Equal(gotB.Bytes(), wantB.Bytes()) {
+					t.Fatalf("resume at %d: journal bytes diverge from the uninterrupted run", k)
+				}
+			}
+		})
+	}
+}
+
+func TestWriterRefusesExistingSession(t *testing.T) {
+	store := NewMemStore()
+	if _, err := NewWriter(store, "dup", plainParams()); err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if _, err := NewWriter(store, "dup", plainParams()); !errors.Is(err, ErrSessionExists) {
+		t.Fatalf("second NewWriter: got %v, want ErrSessionExists", err)
+	}
+}
+
+func TestSessionForRejectsBadParams(t *testing.T) {
+	cases := map[string]OpenParams{
+		"no strategy":       {G: 2},
+		"unknown strategy":  {G: 2, Strategy: "no-such-strategy"},
+		"bad g":             {G: 0, Strategy: "online-bestfit"},
+		"negative budget":   {G: 2, Strategy: "online-budget", Budget: -1},
+		"budget on plain":   {G: 2, Strategy: "online-bestfit", Budget: 10},
+		"budgetless budget": {G: 2, Strategy: "online-budget"},
+	}
+	for name, p := range cases {
+		if _, _, err := SessionFor(p); err == nil {
+			t.Errorf("SessionFor(%s) accepted %+v", name, p)
+		}
+	}
+}
+
+func TestValidSessionID(t *testing.T) {
+	for _, ok := range []string{"a", "A-b_c.9", strings.Repeat("x", 64)} {
+		if !ValidSessionID(ok) {
+			t.Errorf("ValidSessionID(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a/b", "a\nb", strings.Repeat("x", 65), "ü"} {
+		if ValidSessionID(bad) {
+			t.Errorf("ValidSessionID(%q) = true", bad)
+		}
+	}
+}
+
+func TestDecodeRecordsRejectsTrailingGarbage(t *testing.T) {
+	recs, _, err := Certify("garbage", plainParams(), testArrivals(2))
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeRecords(&buf, recs); err != nil {
+		t.Fatalf("EncodeRecords: %v", err)
+	}
+	buf.WriteString("{not json")
+	if _, err := DecodeRecords(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("DecodeRecords accepted trailing garbage")
+	}
+}
+
+func TestFileStoreDurabilityAndRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	recs, _, err := Certify("filed", plainParams(), testArrivals(4))
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+
+	st, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("OpenFileStore: %v", err)
+	}
+	if err := st.Append("filed", recs); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: the full session must come back and still verify.
+	st, err = OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	got, err := st.Read("filed")
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if _, err := Verify(got); err != nil {
+		t.Fatalf("Verify after reopen: %v", err)
+	}
+	sessions, err := st.Sessions()
+	if err != nil || len(sessions) != 1 || sessions[0] != "filed" {
+		t.Fatalf("Sessions() = %v, %v", sessions, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A torn trailing write — half a record, no newline — is the crash
+	// artifact the store must recover from by truncation.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open for tearing: %v", err)
+	}
+	if _, err := f.WriteString(`{"session":"filed","seq":99,"ki`); err != nil {
+		t.Fatalf("tear: %v", err)
+	}
+	f.Close()
+	st, err = OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	got, err = st.Read("filed")
+	if err != nil {
+		t.Fatalf("Read after torn write: %v", err)
+	}
+	if _, err := Verify(got); err != nil {
+		t.Fatalf("Verify after torn-write recovery: %v", err)
+	}
+	st.Close()
+
+	// Interior corruption is not recoverable and must refuse to load:
+	// acknowledged bytes do not silently disappear.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] = 0x00
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := OpenFileStore(path); err == nil {
+		t.Fatal("OpenFileStore loaded a log with interior corruption")
+	}
+}
+
+func TestMemStoreRejectsForeignRecords(t *testing.T) {
+	store := NewMemStore()
+	err := store.Append("mine", []Record{{Session: "theirs"}})
+	if err == nil {
+		t.Fatal("Append accepted a record filed under the wrong session")
+	}
+}

@@ -189,6 +189,17 @@ func (s *Session) Offer(j job.Job) (Event, error) {
 	}, nil
 }
 
+// Arrivals returns the number of arrivals offered so far — the sequence
+// number the next arrival will receive. It is the checkpoint cursor for
+// journaled sessions: a resumed session continues from this position.
+func (s *Session) Arrivals() int { return s.arrivals }
+
+// Clock returns the stream clock: the start time of the latest arrival
+// (0 before the first). A resumed session rebuilt by journal replay
+// reports the same clock as the interrupted one, so resume handlers can
+// reject time-travelling continuations up front.
+func (s *Session) Clock() int64 { return s.lastStart }
+
 // Summary returns the session's closing report. It may be read at any
 // point; the streaming endpoint emits it once the client's arrival stream
 // ends.

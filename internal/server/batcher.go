@@ -1,0 +1,193 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/journal"
+	"repro/internal/online"
+)
+
+// batchResult is one arrival's outcome handed back on its response
+// channel: the placement event plus the per-stage serving timings
+// (queue wait, shared flush wall clock, this arrival's solve time).
+type batchResult struct {
+	ev      online.Event
+	err     error
+	queueNS int64
+	flushNS int64
+	solveNS int64
+}
+
+// batchItem is one submitted arrival awaiting a flush.
+type batchItem struct {
+	j        job.Job
+	arr      journal.Arrival
+	enqueued time.Time
+	resp     chan batchResult // buffered(1); the worker always delivers
+}
+
+// batcher is the micro-batching ingest stage of a stream session: a
+// single worker goroutine owns the session and its journal writer
+// (neither is safe for concurrent use), collects arrivals into batches
+// bounded by maxSize and maxWait, runs the strategy per arrival, stages
+// every placement, and persists the whole batch in ONE journal append —
+// one fsync per flush instead of per arrival, which is where a
+// high-rate stream's throughput goes. Responses are delivered only
+// after the append returns, so every event a client sees is durable
+// and therefore resumable.
+//
+// With maxWait <= 0 the worker never sleeps: it flushes whatever has
+// queued since the last flush (adaptive batching — batch size tracks
+// the arrival rate, latency stays at one flush under low load).
+type batcher struct {
+	sess    *online.Session
+	jw      *journal.Writer
+	maxSize int
+	maxWait time.Duration
+	in      chan batchItem
+	done    chan struct{}
+	observe func(size int, results []batchResult)
+
+	// dead poisons the batcher after a session or journal failure: the
+	// in-memory session may be ahead of the durable log, so accepting
+	// more arrivals could acknowledge placements a resume would not
+	// reproduce. Worker-only; no lock.
+	dead error
+}
+
+// newBatcher starts the worker. observe (optional) is called once per
+// flush with every item's result, after responses are delivered — the
+// metrics hook.
+func newBatcher(sess *online.Session, jw *journal.Writer, maxSize int, maxWait time.Duration, observe func(int, []batchResult)) *batcher {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	b := &batcher{
+		sess:    sess,
+		jw:      jw,
+		maxSize: maxSize,
+		maxWait: maxWait,
+		in:      make(chan batchItem, maxSize),
+		done:    make(chan struct{}),
+		observe: observe,
+	}
+	go b.run()
+	return b
+}
+
+// submit hands one arrival to the worker and returns its response
+// channel. The caller must not submit after close.
+func (b *batcher) submit(j job.Job, arr journal.Arrival) <-chan batchResult {
+	it := batchItem{j: j, arr: arr, enqueued: time.Now(), resp: make(chan batchResult, 1)}
+	b.in <- it
+	return it.resp
+}
+
+// close ends the input stream; the worker flushes what remains and
+// exits. Exactly one caller (the arrival reader) may close.
+func (b *batcher) close() { close(b.in) }
+
+// wait blocks until the worker has drained and exited; after wait the
+// session and writer are safe to touch again (for the close report).
+func (b *batcher) wait() { <-b.done }
+
+// run is the worker loop: block for the batch's first item, gather up
+// to maxSize more (bounded by maxWait, or just "already queued" in
+// greedy mode), flush, repeat.
+func (b *batcher) run() {
+	defer close(b.done)
+	batch := make([]batchItem, 0, b.maxSize)
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		open := b.fill(&batch)
+		b.flush(batch)
+		if !open {
+			return
+		}
+	}
+}
+
+// fill gathers more items after the first, returning false once the
+// input channel is closed.
+func (b *batcher) fill(batch *[]batchItem) bool {
+	if b.maxWait <= 0 {
+		for len(*batch) < b.maxSize {
+			select {
+			case it, ok := <-b.in:
+				if !ok {
+					return false
+				}
+				*batch = append(*batch, it)
+			default:
+				return true
+			}
+		}
+		return true
+	}
+	deadline := time.NewTimer(b.maxWait)
+	defer deadline.Stop()
+	for len(*batch) < b.maxSize {
+		select {
+		case it, ok := <-b.in:
+			if !ok {
+				return false
+			}
+			*batch = append(*batch, it)
+		case <-deadline.C:
+			return true
+		}
+	}
+	return true
+}
+
+// flush runs the batch through the strategy, persists every placement
+// in one append, then responds to every item. A strategy error poisons
+// the session (it is defined to be unusable after one) and fails the
+// item and everything after it; an append error fails the whole flush —
+// in both cases nothing unjournaled is ever acknowledged as placed.
+func (b *batcher) flush(batch []batchItem) {
+	flushStart := time.Now()
+	results := make([]batchResult, len(batch))
+	for i, it := range batch {
+		if b.dead != nil {
+			results[i].err = b.dead
+			continue
+		}
+		solveStart := time.Now()
+		ev, err := b.sess.Offer(it.j)
+		results[i].solveNS = time.Since(solveStart).Nanoseconds()
+		if err != nil {
+			results[i].err = err
+			b.dead = err
+			continue
+		}
+		if _, err := b.jw.StageEvent(it.arr, ev); err != nil {
+			results[i].err = err
+			b.dead = err
+			continue
+		}
+		results[i].ev = ev
+	}
+	if err := b.jw.Commit(); err != nil {
+		b.dead = err
+		for i := range results {
+			if results[i].err == nil {
+				results[i].err = err
+			}
+		}
+	}
+	flushNS := time.Since(flushStart).Nanoseconds()
+	for i, it := range batch {
+		results[i].flushNS = flushNS
+		results[i].queueNS = flushStart.Sub(it.enqueued).Nanoseconds()
+		it.resp <- results[i]
+	}
+	if b.observe != nil {
+		b.observe(len(batch), results)
+	}
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// logEntry is one structured request-log line: every served request and
+// every stream lifecycle event emits exactly one, so an operator can
+// reconstruct a session's timeline (open → events → close/error) by
+// filtering on the session id.
+type logEntry struct {
+	// TS is the wall-clock time of the entry (RFC 3339, nanoseconds).
+	TS string `json:"ts"`
+	// Kind names the entry: solve, batch, stream_open, stream_event,
+	// stream_close, stream_error.
+	Kind string `json:"kind"`
+	// Session and Seq identify the stream position for stream_* entries.
+	Session string `json:"session,omitempty"`
+	Seq     int    `json:"seq,omitempty"`
+	// Outcome is the entry's result: ok / error for requests,
+	// assign / reject / resumed / error for stream entries.
+	Outcome string `json:"outcome"`
+	// DurationNS is the entry's wall clock: request handling for
+	// solve/batch, queue+flush+solve for a stream event, whole-session
+	// for close.
+	DurationNS int64 `json:"duration_ns,omitempty"`
+	// Size is the batch/flush size where one applies.
+	Size int `json:"size,omitempty"`
+	// Error carries the failure detail on error outcomes.
+	Error string `json:"error,omitempty"`
+}
+
+// requestLog serializes JSON-line entries onto one writer. A nil
+// *requestLog (or a nil writer) drops everything — the -quiet path costs
+// one nil check per entry, no formatting.
+type requestLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// newRequestLog returns a logger writing to w, or nil when w is nil.
+func newRequestLog(w io.Writer) *requestLog {
+	if w == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return &requestLog{w: w, enc: enc}
+}
+
+// log writes one entry, stamping the timestamp; safe on a nil receiver.
+func (l *requestLog) log(e logEntry) {
+	if l == nil {
+		return
+	}
+	e.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(e)
+}

@@ -30,6 +30,16 @@ var eventLatencyBounds = []float64{
 // batchSizeBounds bucket the number of requests per batch.
 var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
+// flushSizeBounds bucket the arrivals per stream micro-batch flush; the
+// stream batcher caps at StreamBatch (default 128).
+var flushSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// streamStages are the per-arrival serving stages broken out in
+// /metrics: time queued before a flush, the flush wall clock (journal
+// append + fsync amortized across the batch), and the strategy's own
+// placement time.
+var streamStages = [...]string{"queue", "flush", "solve"}
+
 // histogram is a fixed-bucket cumulative histogram with atomic counters,
 // rendered in the Prometheus text exposition format.
 type histogram struct {
@@ -109,16 +119,22 @@ type metrics struct {
 	streamAssigned     atomic.Int64 // stream arrivals placed on a machine
 	streamRejected     atomic.Int64 // stream arrivals declined by admission control
 	streamErrors       atomic.Int64 // streams aborted by an in-stream error event
+	streamsResumed     atomic.Int64 // sessions continued from their journal
+	requestsJournal    atomic.Int64 // GET /v1/stream/journal
 	batchInstances     atomic.Int64 // total requests across all batches
 	solveLatency       *histogram
 	batchLatency       *histogram
 	batchSize          *histogram
+	flushSize          *histogram // arrivals per stream micro-batch flush
 
 	// eventLatency holds one stream-event latency histogram per online
 	// strategy, keyed by canonical name and grown lazily on first use so
 	// plugin-registered strategies are covered without a rebuild.
+	// stageLatency is its per-stage sibling: queue/flush/solve broken
+	// out per strategy.
 	eventMu      sync.RWMutex
 	eventLatency map[string]*histogram
+	stageLatency map[string]*[len(streamStages)]*histogram
 }
 
 func newMetrics() *metrics {
@@ -126,7 +142,9 @@ func newMetrics() *metrics {
 		solveLatency: newHistogram(latencyBounds, 1e9),
 		batchLatency: newHistogram(latencyBounds, 1e9),
 		batchSize:    newHistogram(batchSizeBounds, 1),
+		flushSize:    newHistogram(flushSizeBounds, 1),
 		eventLatency: map[string]*histogram{},
+		stageLatency: map[string]*[len(streamStages)]*histogram{},
 	}
 }
 
@@ -157,6 +175,33 @@ func (m *metrics) observeStreamEvent(strategy string, d time.Duration) {
 	h.observe(d.Seconds(), d.Nanoseconds())
 }
 
+// observeStreamStages records one arrival's per-stage serving timings
+// under its strategy's stage histograms.
+func (m *metrics) observeStreamStages(strategy string, queueNS, flushNS, solveNS int64) {
+	m.eventMu.RLock()
+	hs := m.stageLatency[strategy]
+	m.eventMu.RUnlock()
+	if hs == nil {
+		m.eventMu.Lock()
+		if hs = m.stageLatency[strategy]; hs == nil {
+			hs = new([len(streamStages)]*histogram)
+			for i := range hs {
+				hs[i] = newHistogram(eventLatencyBounds, 1e9)
+			}
+			m.stageLatency[strategy] = hs
+		}
+		m.eventMu.Unlock()
+	}
+	for i, ns := range [...]int64{queueNS, flushNS, solveNS} {
+		hs[i].observe(float64(ns)/1e9, ns)
+	}
+}
+
+// observeFlushSize records one micro-batch flush's arrival count.
+func (m *metrics) observeFlushSize(size int) {
+	m.flushSize.observe(float64(size), int64(size))
+}
+
 // writeTo renders every counter in the Prometheus text format — plain
 // counters and gauges, no client library dependency.
 func (m *metrics) writeTo(w io.Writer) {
@@ -165,6 +210,7 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"solve\"} %d\n", m.requestsSolve.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"batch\"} %d\n", m.requestsBatch.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"stream\"} %d\n", m.requestsStream.Load())
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"stream_journal\"} %d\n", m.requestsJournal.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"algorithms\"} %d\n", m.requestsAlgorithms.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"healthz\"} %d\n", m.requestsHealth.Load())
 	fmt.Fprintf(w, "# HELP busyd_rejected_total Requests refused by admission control.\n")
@@ -188,6 +234,9 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP busyd_stream_errors_total Streams aborted by an error event.\n")
 	fmt.Fprintf(w, "# TYPE busyd_stream_errors_total counter\n")
 	fmt.Fprintf(w, "busyd_stream_errors_total %d\n", m.streamErrors.Load())
+	fmt.Fprintf(w, "# HELP busyd_streams_resumed_total Sessions continued from their journal.\n")
+	fmt.Fprintf(w, "# TYPE busyd_streams_resumed_total counter\n")
+	fmt.Fprintf(w, "busyd_streams_resumed_total %d\n", m.streamsResumed.Load())
 	fmt.Fprintf(w, "# HELP busyd_batch_instances_total Requests received inside batches.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_instances_total counter\n")
 	fmt.Fprintf(w, "busyd_batch_instances_total %d\n", m.batchInstances.Load())
@@ -200,6 +249,9 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP busyd_batch_size Requests per batch.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_size histogram\n")
 	m.batchSize.writeTo(w, "busyd_batch_size", "")
+	fmt.Fprintf(w, "# HELP busyd_stream_flush_size Arrivals per stream micro-batch flush.\n")
+	fmt.Fprintf(w, "# TYPE busyd_stream_flush_size histogram\n")
+	m.flushSize.writeTo(w, "busyd_stream_flush_size", "")
 
 	// Snapshot the per-strategy histogram pointers before rendering:
 	// writing to w can block on a slow scraper, and holding eventMu
@@ -216,13 +268,32 @@ func (m *metrics) writeTo(w io.Writer) {
 	for name, h := range m.eventLatency {
 		strategies = append(strategies, namedHistogram{name, h})
 	}
+	type namedStages struct {
+		name string
+		hs   *[len(streamStages)]*histogram
+	}
+	staged := make([]namedStages, 0, len(m.stageLatency))
+	for name, hs := range m.stageLatency {
+		staged = append(staged, namedStages{name, hs})
+	}
 	m.eventMu.RUnlock()
 	sort.Slice(strategies, func(i, j int) bool { return strategies[i].name < strategies[j].name })
+	sort.Slice(staged, func(i, j int) bool { return staged[i].name < staged[j].name })
 	if len(strategies) > 0 {
 		fmt.Fprintf(w, "# HELP busyd_stream_event_latency_seconds Per-arrival stream event handling, by strategy.\n")
 		fmt.Fprintf(w, "# TYPE busyd_stream_event_latency_seconds histogram\n")
 		for _, s := range strategies {
 			s.h.writeTo(w, "busyd_stream_event_latency_seconds", fmt.Sprintf("strategy=%q", s.name))
+		}
+	}
+	if len(staged) > 0 {
+		fmt.Fprintf(w, "# HELP busyd_stream_stage_latency_seconds Per-arrival serving stages (queue wait, flush, solve), by strategy.\n")
+		fmt.Fprintf(w, "# TYPE busyd_stream_stage_latency_seconds histogram\n")
+		for _, s := range staged {
+			for i, stage := range streamStages {
+				s.hs[i].writeTo(w, "busyd_stream_stage_latency_seconds",
+					fmt.Sprintf("strategy=%q,stage=%q", s.name, stage))
+			}
 		}
 	}
 }

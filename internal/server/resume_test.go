@@ -1,0 +1,321 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/job"
+	"repro/internal/journal"
+	"repro/internal/workload"
+)
+
+// killStreamAt opens a journaled stream session, feeds the first k
+// arrivals, waits for all k placement events to be confirmed (each one
+// durably journaled before it is emitted), and then drops the
+// connection without ending the stream — the simulated client crash.
+func killStreamAt(t *testing.T, url string, open StreamOpen, jobs []job.Job, k int) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		enc := json.NewEncoder(pw)
+		if err := enc.Encode(open); err != nil {
+			return
+		}
+		for _, j := range jobs[:k] {
+			if err := enc.Encode(StreamArrival{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight}); err != nil {
+				return
+			}
+		}
+		// Deliberately no pw.Close(): a clean EOF would close the
+		// session for good. The crash is the reader dropping the
+		// connection below.
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("kill stream: status %s: %s", resp.Status, body)
+	}
+	dec := json.NewDecoder(resp.Body)
+	seen := 0
+	for seen < k {
+		var ev StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("kill stream: after %d events: %v", seen, err)
+		}
+		switch ev.Type {
+		case StreamEventOpen:
+		case StreamEventError:
+			t.Fatalf("kill stream: daemon error: %s", ev.Error)
+		default:
+			seen++
+		}
+	}
+	resp.Body.Close() // the crash
+	pw.CloseWithError(io.ErrClosedPipe)
+}
+
+// resumeStream resumes a session from seq, sending the given remaining
+// arrivals, and returns the open event, all placement events (replayed
+// tail included) and the close event. It retries while the server still
+// considers the dropped connection active.
+func resumeStream(t *testing.T, url, session string, seq int, jobs []job.Job) (StreamEvent, []StreamEvent, StreamEvent) {
+	t.Helper()
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, j := range jobs {
+		if err := enc.Encode(StreamArrival{ID: j.ID, Start: j.Start(), End: j.End(), Weight: j.Weight}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := url + "/v1/stream?resume=" + session + "&seq=" + strconv.Itoa(seq)
+	var resp *http.Response
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		resp, err = http.Post(target, "application/x-ndjson", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusConflict && time.Now().Before(deadline) {
+			// The server has not yet noticed the dropped connection.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		out, _ := io.ReadAll(resp.Body)
+		t.Fatalf("resume: status %s: %s", resp.Status, out)
+	}
+	var openEv StreamEvent
+	var events []StreamEvent
+	var closeEv *StreamEvent
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatalf("resume: decoding event: %v", err)
+		}
+		switch ev.Type {
+		case StreamEventOpen:
+			openEv = ev
+		case StreamEventError:
+			t.Fatalf("resume: daemon error: %s", ev.Error)
+		case StreamEventClose:
+			e := ev
+			closeEv = &e
+		default:
+			events = append(events, ev)
+		}
+	}
+	if closeEv == nil {
+		t.Fatalf("resume: stream ended after %d events without a close event", len(events))
+	}
+	return openEv, events, *closeEv
+}
+
+// TestStreamKillResumeByteEqual is the durable-sessions acceptance test:
+// a session interrupted mid-stream and resumed on the same journal must
+// produce a close report byte-equal — chain hash included — to the same
+// session streamed uninterrupted on a fresh server, and to the offline
+// certificate.
+func TestStreamKillResumeByteEqual(t *testing.T) {
+	const session = "kill-resume-1"
+	in := workload.WeightedArrivals(7, workload.Config{N: 120, G: 4, MaxTime: 700, MaxLen: 60})
+	open := StreamOpen{G: in.G, Strategy: "online-bestfit", Session: session}
+	kill := 47   // interrupt after this many confirmed placements
+	replay := 45 // resume from here: the last two events re-emit as tail
+
+	interrupted := newTestServer(t, Config{})
+	killStreamAt(t, interrupted.URL, open, in.Jobs, kill)
+	openEv, events, closeA := resumeStream(t, interrupted.URL, session, replay, in.Jobs[kill:])
+
+	if !openEv.Resumed || openEv.Session != session {
+		t.Fatalf("open event %+v, want resumed session %s", openEv, session)
+	}
+	if openEv.Arrivals != kill {
+		t.Fatalf("resumed at %d journaled arrivals, want %d", openEv.Arrivals, kill)
+	}
+	for i, ev := range events {
+		wantSeq := replay + i
+		if ev.Seq != wantSeq {
+			t.Fatalf("resumed event %d carries seq %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if wantReplay := wantSeq < kill; ev.Replay != wantReplay {
+			t.Fatalf("seq %d: replay=%v, want %v", wantSeq, ev.Replay, wantReplay)
+		}
+	}
+	if n := len(events); n != len(in.Jobs)-replay {
+		t.Fatalf("resumed stream delivered %d events, want %d", n, len(in.Jobs)-replay)
+	}
+
+	// The same session, uninterrupted, on a fresh server and store.
+	uninterrupted := newTestServer(t, Config{})
+	_, closeB := streamInstance(t, uninterrupted.URL, open, in)
+
+	gotA, err := json.Marshal(closeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := json.Marshal(closeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, gotB) {
+		t.Errorf("interrupted+resumed close diverges from uninterrupted run\n resumed:       %s\n uninterrupted: %s", gotA, gotB)
+	}
+
+	// And both match the offline certificate.
+	arrs := make([]journal.Arrival, len(in.Jobs))
+	for i, j := range in.Jobs {
+		arrs[i] = journal.ArrivalOf(j)
+	}
+	_, cert, err := journal.Certify(session, journal.OpenParams{G: in.G, Strategy: open.Strategy}, arrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closeA.Chain != cert.Chain {
+		t.Errorf("resumed chain %s, offline certificate %s", closeA.Chain, cert.Chain)
+	}
+
+	// The journal endpoint serves the full chain, and it verifies.
+	resp, err := http.Get(interrupted.URL + "/v1/stream/journal?session=" + session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("journal fetch: status %s", resp.Status)
+	}
+	recs, err := journal.DecodeRecords(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := journal.Verify(recs)
+	if err != nil {
+		t.Fatalf("served journal does not verify: %v", err)
+	}
+	if served.Chain != closeA.Chain {
+		t.Errorf("served journal chain %s, close event chain %s", served.Chain, closeA.Chain)
+	}
+}
+
+// TestStreamResumeErrors exercises the resume-time failure modes, which
+// are all pre-stream and therefore plain HTTP statuses.
+func TestStreamResumeErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	in := workload.Arrivals(3, workload.Config{N: 20, G: 2, MaxTime: 200, MaxLen: 20})
+	open := StreamOpen{G: in.G, Strategy: "online-firstfit", Session: "finished-1"}
+	if _, closeEv := streamInstance(t, ts.URL, open, in); closeEv.Chain == "" {
+		t.Fatal("setup stream closed without a chain hash")
+	}
+
+	cases := []struct {
+		name   string
+		query  string
+		status int
+	}{
+		{"unknown session", "?resume=never-opened&seq=0", http.StatusNotFound},
+		{"invalid session id", "?resume=bad%21id&seq=0", http.StatusBadRequest},
+		{"invalid seq", "?resume=finished-1&seq=abc", http.StatusBadRequest},
+		{"negative seq", "?resume=finished-1&seq=-1", http.StatusBadRequest},
+		{"closed session", "?resume=finished-1&seq=0", http.StatusConflict},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/stream"+c.query, "application/x-ndjson", strings.NewReader(""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.status {
+				t.Errorf("status %d, want %d", resp.StatusCode, c.status)
+			}
+		})
+	}
+
+	// Reopening a closed session id is a conflict pointing at resume.
+	_, _, err := streamInstanceErr(ts.URL, open, in)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Errorf("reopening a journaled session id: %v, want a 409 conflict", err)
+	}
+
+	// A resume seq beyond the journaled arrivals is a bad request: kill a
+	// session mid-stream so an open (resumable) journal exists.
+	openKill := StreamOpen{G: in.G, Strategy: "online-firstfit", Session: "hanging-1"}
+	killStreamAt(t, ts.URL, openKill, in.Jobs, 5)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/stream?resume=hanging-1&seq=9999", "application/x-ndjson", strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusConflict && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("over-long resume seq: status %d, want 400", resp.StatusCode)
+		}
+		break
+	}
+}
+
+// TestStreamJournalEndpointErrors covers the journal fetch endpoint's
+// error statuses.
+func TestStreamJournalEndpointErrors(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for _, c := range []struct {
+		query  string
+		status int
+	}{
+		{"?session=never-opened", http.StatusNotFound},
+		{"?session=", http.StatusBadRequest},
+		{"?session=bad%21id", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(ts.URL + "/v1/stream/journal" + c.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.query, resp.StatusCode, c.status)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/stream/journal?session=x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST journal: status %d, want 405", resp.StatusCode)
+	}
+}

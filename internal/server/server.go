@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	busytime "repro"
+	"repro/internal/journal"
 )
 
 // Config wires the daemon's flags to the server. The zero value serves
@@ -38,6 +41,24 @@ type Config struct {
 	MaxBodyBytes int64
 	// DrainTimeout bounds the graceful shutdown drain (default 10 s).
 	DrainTimeout time.Duration
+	// Journal is the durable placement log behind /v1/stream sessions;
+	// nil selects an in-memory store (sessions survive disconnects for
+	// the life of the process, not across restarts).
+	Journal journal.Store
+	// StreamBatch caps the arrivals per micro-batch flush on the stream
+	// ingest path (default 128).
+	StreamBatch int
+	// StreamBatchWait bounds how long a non-full micro-batch waits for
+	// more arrivals before flushing. <= 0 (the default) never waits:
+	// each flush takes whatever has queued since the last one, so batch
+	// size adapts to the arrival rate with no added latency.
+	StreamBatchWait time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiling endpoints are opt-in on a serving daemon).
+	EnablePprof bool
+	// RequestLog receives one JSON line per request and per stream
+	// lifecycle event; nil disables request logging.
+	RequestLog io.Writer
 }
 
 // Server serves the Solver API over HTTP: POST /v1/solve,
@@ -50,6 +71,12 @@ type Server struct {
 	pinnedMu sync.Mutex
 	pinned   map[string]*busytime.Solver // per-batch-algorithm solver cache
 	metrics  *metrics
+	reqlog   *requestLog
+
+	// activeStreams guards each journal session against concurrent
+	// serving: one connection per session id at a time.
+	streamMu      sync.Mutex
+	activeStreams map[string]bool
 }
 
 // New validates the configuration (a pinned default algorithm must be
@@ -61,16 +88,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.StreamBatch <= 0 {
+		cfg.StreamBatch = 128
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = journal.NewMemStore()
+	}
 	if cfg.Algorithm != "" {
 		if _, err := busytime.LookupAlgorithm(cfg.Algorithm); err != nil {
 			return nil, err
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		solver:  busytime.NewSolver(solverOptions(cfg, cfg.Algorithm)...),
-		pinned:  map[string]*busytime.Solver{},
-		metrics: newMetrics(),
+		cfg:           cfg,
+		solver:        busytime.NewSolver(solverOptions(cfg, cfg.Algorithm)...),
+		pinned:        map[string]*busytime.Solver{},
+		metrics:       newMetrics(),
+		reqlog:        newRequestLog(cfg.RequestLog),
+		activeStreams: map[string]bool{},
 	}
 	return s, nil
 }
@@ -112,9 +147,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/solve/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/v1/stream/journal", s.handleStreamJournal)
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		// Explicit routes rather than the package's DefaultServeMux
+		// side-effect registration: the daemon's mux must expose pprof
+		// only when asked to.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -199,9 +245,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.observeSolve(time.Since(start))
 	if err != nil {
 		s.metrics.solveErrors.Add(1)
+		s.reqlog.log(logEntry{Kind: "solve", Outcome: "error",
+			DurationNS: time.Since(start).Nanoseconds(), Error: err.Error()})
 		writeJSON(w, http.StatusUnprocessableEntity, Result{Kind: solverReq.Kind.String(), Error: err.Error()})
 		return
 	}
+	s.reqlog.log(logEntry{Kind: "solve", Outcome: "ok", DurationNS: time.Since(start).Nanoseconds()})
 	writeJSON(w, http.StatusOK, WireResult(res))
 }
 
@@ -294,9 +343,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// daemon is draining past its timeout. Per-request errors are
 	// already inline; report the batch as a whole anyway.
 	if batchErr != nil {
+		s.reqlog.log(logEntry{Kind: "batch", Outcome: "error", Size: len(batch.Requests),
+			DurationNS: time.Since(start).Nanoseconds(), Error: batchErr.Error()})
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 		return
 	}
+	s.reqlog.log(logEntry{Kind: "batch", Outcome: "ok", Size: len(batch.Requests),
+		DurationNS: time.Since(start).Nanoseconds()})
 	writeJSON(w, http.StatusOK, resp)
 }
 

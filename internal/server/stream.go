@@ -1,36 +1,54 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/igraph"
+	"repro/internal/journal"
 	"repro/internal/online"
 	"repro/internal/registry"
+	"repro/internal/safemath"
 )
 
 // handleStream serves POST /v1/stream: a full-duplex NDJSON session that
-// feeds arrival events into a per-connection online strategy and emits
-// one placement event per arrival, with live cost / lower-bound /
-// competitive-ratio telemetry, then a final close report when the client
-// ends its stream.
+// feeds arrival events through the micro-batched ingest stage into a
+// per-session online strategy, journals every placement durably before
+// acknowledging it, and emits one placement event per arrival with live
+// telemetry plus per-stage serving timings, then a final close report
+// carrying the journal chain's certificate hash.
 //
 // Protocol (one JSON value per line, both directions):
 //
-//	→ {"g":4,"strategy":"online-bestfit","budget":0}     session header
-//	→ {"id":0,"start":3,"end":9,"weight":2}              arrival events…
-//	← {"type":"assign","job_id":0,"machine":0,"opened":true,...}
-//	← {"type":"reject","job_id":7,...}                   (admission control)
-//	← {"type":"close","cost":...,"ratio":...}            on client EOF
+//	→ {"g":4,"strategy":"online-bestfit","session":"run-1"}  header
+//	→ {"id":0,"start":3,"end":9,"weight":2}                  arrivals…
+//	← {"type":"open","session":"run-1","strategy":...}
+//	← {"type":"assign","job_id":0,"machine":0,...,"queue_ns":...}
+//	← {"type":"reject","job_id":7,...}       (admission control)
+//	← {"type":"close","session":"run-1","chain":"ab12…",...} on EOF
 //
-// Header problems are plain HTTP errors (400/405/429); once the first
-// event is written the status is committed, so later failures surface as
-// a terminal {"type":"error"} event. Arrivals must carry non-decreasing
-// start times — the defining property of an online stream.
+// A disconnected session is not lost: its journal survives (in the file
+// store, across a daemon crash), and
+//
+//	POST /v1/stream?resume=<session>&seq=<n>
+//
+// rebuilds the session by journal replay, re-emits the journal tail
+// from online seq n with "replay":true, and continues accepting
+// arrivals — no header line on a resume; the open record already fixed
+// the parameters. An interrupted-and-resumed session produces a close
+// report byte-equal to an uninterrupted one, chain hash included.
+//
+// Header problems are plain HTTP errors (400/404/405/409/429); once the
+// first event is written the status is committed, so later failures
+// surface as a terminal {"type":"error"} event, which leaves the
+// journal unclosed — and the session resumable from its durable prefix.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requestsStream.Add(1)
 	if r.Method != http.MethodPost {
@@ -51,21 +69,68 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// 100k-job -max-jobs cap.
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(body)
-	var open StreamOpen
-	if err := dec.Decode(&open); err != nil {
-		s.metrics.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, fmt.Errorf("server: decoding stream header: %v", err))
-		return
+
+	// Both setup paths claim the session id before returning success, so
+	// exactly one connection serves a session at a time (sessions and
+	// journal writers are single-goroutine by contract).
+	var (
+		sess    *online.Session
+		jw      *journal.Writer
+		alg     string
+		tail    []journal.Record // events to re-emit on resume
+		resumed bool
+	)
+	if resumeID := r.URL.Query().Get("resume"); resumeID != "" {
+		state, from, status, err := s.resumeStreamSession(resumeID, r.URL.Query().Get("seq"))
+		if err != nil {
+			if status == http.StatusBadRequest {
+				s.metrics.badRequests.Add(1)
+			}
+			httpError(w, status, err)
+			return
+		}
+		sess, alg, resumed = state.Session, state.Params.Strategy, true
+		jw, err = journal.ResumeWriter(s.cfg.Journal, state)
+		if err != nil {
+			s.releaseSession(resumeID)
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		for _, rec := range state.Records {
+			if rec.Kind == journal.KindEvent && rec.Event.Seq >= from {
+				tail = append(tail, rec)
+			}
+		}
+		s.metrics.streamsResumed.Add(1)
+	} else {
+		var open StreamOpen
+		if err := dec.Decode(&open); err != nil {
+			s.metrics.badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Errorf("server: decoding stream header: %v", err))
+			return
+		}
+		var status int
+		var err error
+		sess, jw, alg, status, err = s.openStreamSession(open)
+		if err != nil {
+			if status == http.StatusBadRequest {
+				s.metrics.badRequests.Add(1)
+			}
+			httpError(w, status, err)
+			return
+		}
 	}
-	sess, alg, err := s.newStreamSession(open)
-	if err != nil {
-		s.metrics.badRequests.Add(1)
-		httpError(w, http.StatusBadRequest, err)
-		return
-	}
+	session := jw.Session()
+	defer s.releaseSession(session)
 
 	s.metrics.streamsOpen.Add(1)
 	defer s.metrics.streamsOpen.Add(-1)
+	sessionStart := time.Now()
+	outcome := "ok"
+	if resumed {
+		outcome = "resumed"
+	}
+	s.reqlog.log(logEntry{Kind: "stream_open", Session: session, Seq: sess.Arrivals(), Outcome: outcome})
 
 	// HTTP/1.x is half-duplex by default: the server closes the request
 	// body once the handler starts writing. A stream session reads
@@ -87,72 +152,167 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fail := func(err error) {
 		s.metrics.streamErrors.Add(1)
-		emit(StreamEvent{Type: StreamEventError, Error: err.Error()})
+		s.reqlog.log(logEntry{Kind: "stream_error", Session: session, Seq: sess.Arrivals(),
+			Outcome: "error", Error: err.Error()})
+		emit(StreamEvent{Type: StreamEventError, Session: session, Error: err.Error()})
 	}
 
-	arrivals := 0
-	for {
-		var arr StreamArrival
-		if err := dec.Decode(&arr); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
+	if !emit(StreamEvent{Type: StreamEventOpen, Session: session, Strategy: alg,
+		Resumed: resumed, Arrivals: sess.Arrivals()}) {
+		return
+	}
+	for _, rec := range tail {
+		ev := WireStreamEvent(rec.Event.OnlineEvent())
+		ev.Replay = true
+		if !emit(ev) {
+			return
+		}
+	}
+
+	// The batcher worker owns the session and journal writer from here
+	// until wait() returns. The reader goroutine decodes and submits
+	// arrivals; this goroutine collects responses in arrival order and
+	// emits them — decode, solve+journal, and emit pipeline across three
+	// goroutines while per-arrival ordering is preserved.
+	b := newBatcher(sess, jw, s.cfg.StreamBatch, s.cfg.StreamBatchWait, s.observeFlush(alg))
+	type pending struct {
+		resp    <-chan batchResult
+		err     error // terminal reader-side failure; decode marks decoder errors
+		decode  bool
+		arrival int
+	}
+	queue := make(chan pending, cap(b.in))
+	done := make(chan struct{})
+	go func() {
+		defer b.close()
+		push := func(p pending) bool {
+			select {
+			case queue <- p:
+				return true
+			case <-done:
+				return false
 			}
+		}
+		arrivals := sess.Arrivals() // journaled arrivals count toward the cap on resume
+		for {
+			var arr StreamArrival
+			if err := dec.Decode(&arr); err != nil {
+				if !errors.Is(err, io.EOF) {
+					push(pending{err: err, decode: true, arrival: arrivals})
+				}
+				close(queue)
+				return
+			}
+			arrivals++
+			if s.cfg.MaxJobs > 0 && arrivals > s.cfg.MaxJobs {
+				push(pending{err: fmt.Errorf("server: stream of %d arrivals exceeds limit %d", arrivals, s.cfg.MaxJobs), arrival: arrivals})
+				close(queue)
+				return
+			}
+			j, err := arr.ToJob()
+			if err != nil {
+				push(pending{err: err, arrival: arrivals})
+				close(queue)
+				return
+			}
+			if !push(pending{resp: b.submit(j, journal.ArrivalOf(j))}) {
+				close(queue)
+				return
+			}
+		}
+	}()
+
+	clean := true
+	for p := range queue {
+		if p.err != nil {
 			// A client that went away mid-stream is ordinary churn, not a
 			// bad request or a stream error; there is no one left to tell.
 			if r.Context().Err() != nil {
-				return
+				clean = false
+				break
 			}
 			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
+			switch {
+			case errors.As(p.err, &tooBig):
 				s.metrics.rejectedTooLarge.Add(1)
 				fail(fmt.Errorf("server: stream exceeded the request body limit of %d bytes", s.cfg.MaxBodyBytes))
-				return
+			case p.decode:
+				s.metrics.badRequests.Add(1)
+				fail(fmt.Errorf("server: decoding arrival %d: %v", p.arrival, p.err))
+			default:
+				s.metrics.badRequests.Add(1)
+				fail(p.err)
 			}
+			clean = false
+			break
+		}
+		res := <-p.resp
+		if res.err != nil {
 			s.metrics.badRequests.Add(1)
-			fail(fmt.Errorf("server: decoding arrival %d: %v", arrivals, err))
-			return
+			fail(res.err)
+			clean = false
+			break
 		}
-		arrivals++
-		if s.cfg.MaxJobs > 0 && arrivals > s.cfg.MaxJobs {
-			s.metrics.rejectedTooLarge.Add(1)
-			fail(fmt.Errorf("server: stream of %d arrivals exceeds limit %d", arrivals, s.cfg.MaxJobs))
-			return
-		}
-		j, err := arr.ToJob()
-		if err != nil {
-			s.metrics.badRequests.Add(1)
-			fail(err)
-			return
-		}
-		start := time.Now()
-		ev, err := sess.Offer(j)
-		s.metrics.observeStreamEvent(alg, time.Since(start))
-		if err != nil {
-			s.metrics.badRequests.Add(1)
-			fail(err)
-			return
-		}
-		if ev.Rejected {
+		if res.ev.Rejected {
 			s.metrics.streamRejected.Add(1)
 		} else {
 			s.metrics.streamAssigned.Add(1)
 		}
-		if !emit(WireStreamEvent(ev)) {
-			return
+		ev := WireStreamEvent(res.ev)
+		ev.QueueNS, ev.FlushNS, ev.SolveNS = res.queueNS, res.flushNS, res.solveNS
+		s.reqlog.log(logEntry{Kind: "stream_event", Session: session, Seq: res.ev.Seq,
+			Outcome: ev.Type, DurationNS: safemath.SatAdd(res.queueNS, res.flushNS)})
+		if !emit(ev) {
+			clean = false
+			break
 		}
 	}
-	emit(WireStreamClose(sess.Summary()))
+	// Unblock the reader (it closes the batcher input on exit), then
+	// join the worker; only after that are the session and writer safe
+	// to touch again.
+	close(done)
+	b.wait()
+	if !clean {
+		return // journal left unclosed: the session is resumable
+	}
+	sum := sess.Summary()
+	chain, err := jw.Close(sum)
+	if err != nil {
+		fail(fmt.Errorf("server: closing journal: %v", err))
+		return
+	}
+	s.reqlog.log(logEntry{Kind: "stream_close", Session: session, Seq: sum.Arrivals,
+		Outcome: "ok", DurationNS: time.Since(sessionStart).Nanoseconds()})
+	emit(WireStreamClose(sum, session, chain))
 }
 
-// newStreamSession validates the stream header and builds the session:
-// capacity, resolved strategy (strongest registered when unnamed), and
-// the budget handed to admission-control strategies.
-func (s *Server) newStreamSession(open StreamOpen) (*online.Session, string, error) {
+// observeFlush is the batcher's metrics hook: per-stage latency per
+// arrival plus the flush-size distribution.
+func (s *Server) observeFlush(alg string) func(size int, results []batchResult) {
+	return func(size int, results []batchResult) {
+		s.metrics.observeFlushSize(size)
+		for i := range results {
+			if results[i].err != nil {
+				continue
+			}
+			s.metrics.observeStreamStages(alg, results[i].queueNS, results[i].flushNS, results[i].solveNS)
+			s.metrics.observeStreamEvent(alg, time.Duration(results[i].solveNS))
+		}
+	}
+}
+
+// openStreamSession validates the stream header and opens a fresh
+// journaled session: capacity, resolved strategy (strongest registered
+// when unnamed), the budget handed to admission-control strategies, and
+// the open record persisted before the first arrival is read. On
+// success the session id is claimed; the returned status is the HTTP
+// code to use on error.
+func (s *Server) openStreamSession(open StreamOpen) (*online.Session, *journal.Writer, string, int, error) {
 	if open.G < 1 {
-		return nil, "", fmt.Errorf("server: stream capacity g = %d, need g >= 1", open.G)
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: stream capacity g = %d, need g >= 1", open.G)
 	}
 	if open.Budget < 0 {
-		return nil, "", fmt.Errorf("server: stream budget %d, need >= 0", open.Budget)
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: stream budget %d, need >= 0", open.Budget)
 	}
 	var alg registry.Algorithm
 	var err error
@@ -162,23 +322,148 @@ func (s *Server) newStreamSession(open StreamOpen) (*online.Session, string, err
 		alg, err = registry.LookupKind(registry.Online, open.Strategy)
 	}
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", http.StatusBadRequest, err
 	}
 	st := alg.NewStrategy()
 	bs, budgeted := st.(online.BudgetSetter)
 	switch {
 	case open.Budget > 0 && !budgeted:
-		return nil, "", fmt.Errorf("server: strategy %s does not support a budget (use %s)", alg.Name, "online-budget")
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: strategy %s does not support a budget (use %s)", alg.Name, "online-budget")
 	case open.Budget == 0 && budgeted:
 		// Without a budget the admission-control strategy silently
 		// degenerates to plain BestFit; refuse, like the CLI does.
-		return nil, "", fmt.Errorf("server: strategy %s needs a positive budget (it admits everything without one)", alg.Name)
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: strategy %s needs a positive budget (it admits everything without one)", alg.Name)
 	case budgeted:
 		bs.SetBudget(open.Budget)
 	}
 	sess, err := online.NewSession(open.G, st)
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", http.StatusBadRequest, err
 	}
-	return sess, alg.Name, nil
+	session := open.Session
+	if session == "" {
+		session = newSessionID()
+	} else if !journal.ValidSessionID(session) {
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: invalid session id %q (want 1-64 chars of [A-Za-z0-9._-])", open.Session)
+	}
+	// Claim before touching the store: two racing opens on one id must
+	// not both write an open record.
+	if !s.claimSession(session) {
+		return nil, nil, "", http.StatusConflict, fmt.Errorf("server: session %s is already being served", session)
+	}
+	// The journal records the canonical strategy name, never an alias:
+	// the open record seeds the hash chain, and a certificate must not
+	// depend on which spelling the client used.
+	jw, err := journal.NewWriter(s.cfg.Journal, session, journal.OpenParams{G: open.G, Strategy: alg.Name, Budget: open.Budget})
+	if err != nil {
+		s.releaseSession(session)
+		if errors.Is(err, journal.ErrSessionExists) {
+			return nil, nil, "", http.StatusConflict, fmt.Errorf("server: session %s already has a journal; resume it with ?resume=%s", session, session)
+		}
+		return nil, nil, "", http.StatusInternalServerError, err
+	}
+	return sess, jw, alg.Name, 0, nil
+}
+
+// resumeStreamSession rebuilds a disconnected session from its journal,
+// claiming the id on success. It returns the replayed state and the
+// online seq the client wants the event tail re-emitted from.
+func (s *Server) resumeStreamSession(session, seqStr string) (*journal.ReplayState, int, int, error) {
+	if !journal.ValidSessionID(session) {
+		return nil, 0, http.StatusBadRequest, fmt.Errorf("server: invalid session id %q", session)
+	}
+	from := 0
+	if seqStr != "" {
+		n, err := strconv.Atoi(seqStr)
+		if err != nil || n < 0 {
+			return nil, 0, http.StatusBadRequest, fmt.Errorf("server: invalid resume seq %q", seqStr)
+		}
+		from = n
+	}
+	if !s.claimSession(session) {
+		return nil, 0, http.StatusConflict, fmt.Errorf("server: session %s is already being served", session)
+	}
+	state, status, err := func() (*journal.ReplayState, int, error) {
+		recs, err := s.cfg.Journal.Read(session)
+		if err != nil {
+			if errors.Is(err, journal.ErrUnknownSession) {
+				return nil, http.StatusNotFound, fmt.Errorf("server: no journal for session %s", session)
+			}
+			return nil, http.StatusInternalServerError, err
+		}
+		state, err := journal.Replay(recs)
+		if err != nil {
+			// The journal exists but does not replay: corruption or a
+			// build mismatch. Surface it loudly; it certifies nothing.
+			return nil, http.StatusInternalServerError, fmt.Errorf("server: journal for session %s does not replay: %v", session, err)
+		}
+		if state.Closed {
+			return nil, http.StatusConflict, fmt.Errorf("server: session %s is closed; its journal is final", session)
+		}
+		if from > state.Arrivals {
+			return nil, http.StatusBadRequest, fmt.Errorf("server: resume seq %d beyond the journal's %d arrivals", from, state.Arrivals)
+		}
+		return state, 0, nil
+	}()
+	if err != nil {
+		s.releaseSession(session)
+		return nil, 0, status, err
+	}
+	return state, from, 0, nil
+}
+
+// handleStreamJournal serves GET /v1/stream/journal?session=<id>: the
+// session's raw journal as NDJSON records, so clients can verify the
+// chained certificate independently (busysim stream -verify does).
+func (s *Server) handleStreamJournal(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requestsJournal.Add(1)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, errors.New("server: GET only"))
+		return
+	}
+	session := r.URL.Query().Get("session")
+	if !journal.ValidSessionID(session) {
+		s.metrics.badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, fmt.Errorf("server: invalid session id %q", session))
+		return
+	}
+	recs, err := s.cfg.Journal.Read(session)
+	if err != nil {
+		if errors.Is(err, journal.ErrUnknownSession) {
+			httpError(w, http.StatusNotFound, fmt.Errorf("server: no journal for session %s", session))
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = journal.EncodeRecords(w, recs)
+}
+
+// claimSession marks a session as actively served, refusing a second
+// concurrent stream on the same id (sessions and writers are
+// single-goroutine; two connections interleaving offers would corrupt
+// the chain).
+func (s *Server) claimSession(id string) bool {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	if s.activeStreams[id] {
+		return false
+	}
+	s.activeStreams[id] = true
+	return true
+}
+
+func (s *Server) releaseSession(id string) {
+	s.streamMu.Lock()
+	defer s.streamMu.Unlock()
+	delete(s.activeStreams, id)
+}
+
+// newSessionID generates a random 128-bit session id. crypto/rand.Read
+// is documented to never fail and to always fill the buffer.
+func newSessionID() string {
+	var b [16]byte
+	_, _ = rand.Read(b[:])
+	return "s-" + hex.EncodeToString(b[:])
 }

@@ -12,8 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/job"
-	"repro/internal/online"
-	"repro/internal/registry"
+	"repro/internal/journal"
 	"repro/internal/workload"
 )
 
@@ -68,6 +67,9 @@ func streamInstanceErr(url string, open StreamOpen, in job.Instance) ([]StreamEv
 			closeEv = &e
 			continue
 		}
+		if ev.Type == StreamEventOpen {
+			continue
+		}
 		events = append(events, ev)
 	}
 }
@@ -104,15 +106,15 @@ func TestStreamMatchesOfflineReplay(t *testing.T) {
 				}
 			}
 
-			alg, err := registry.LookupKind(registry.Online, open.Strategy)
-			if err != nil {
-				t.Fatal(err)
+			if closeEv.Session == "" {
+				t.Fatal("close event carries no session id")
 			}
-			st := alg.NewStrategy()
-			if open.Budget > 0 {
-				st.(online.BudgetSetter).SetBudget(open.Budget)
+			arrs := make([]journal.Arrival, len(in.Jobs))
+			for i, j := range in.Jobs {
+				arrs[i] = journal.ArrivalOf(j)
 			}
-			res, err := online.Replay(in, st)
+			p := journal.OpenParams{G: in.G, Strategy: open.Strategy, Budget: open.Budget}
+			_, cert, err := journal.Certify(closeEv.Session, p, arrs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -120,7 +122,7 @@ func TestStreamMatchesOfflineReplay(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := json.Marshal(WireStreamClose(res.Summarize()))
+			want, err := json.Marshal(WireStreamClose(cert.Summary, closeEv.Session, cert.Chain))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -280,11 +280,15 @@ func WireResult(res busytime.Result) Result {
 // StreamOpen is the first NDJSON line of a POST /v1/stream session: the
 // machine capacity, the online strategy to drive (registered name or
 // alias; empty picks the strongest registered strategy), and an optional
-// busy-time budget for admission-control strategies.
+// busy-time budget for admission-control strategies. Session optionally
+// fixes the session id (1–64 chars of [A-Za-z0-9._-]) — the handle for
+// resuming after a disconnect and for fetching the journal; when empty
+// the server generates one and reports it on the open event.
 type StreamOpen struct {
 	G        int    `json:"g"`
 	Strategy string `json:"strategy,omitempty"`
 	Budget   int64  `json:"budget,omitempty"`
+	Session  string `json:"session,omitempty"`
 }
 
 // StreamArrival is one arrival event line of a stream session: a rigid
@@ -318,6 +322,10 @@ func (a StreamArrival) ToJob() (job.Job, error) {
 
 // Stream event types, the "type" discriminator of StreamEvent.
 const (
+	// StreamEventOpen is the first event of every session: it announces
+	// the session id, the canonical strategy, and (on resume) how many
+	// arrivals the journal already holds.
+	StreamEventOpen = "open"
 	// StreamEventAssign reports an arrival committed to a machine.
 	StreamEventAssign = "assign"
 	// StreamEventReject reports an arrival declined by admission control.
@@ -339,6 +347,12 @@ const (
 // arrivals, and their ratio — the empirical competitive ratio so far.
 type StreamEvent struct {
 	Type string `json:"type"`
+	// Session identifies the journaled session (open and close events).
+	Session string `json:"session,omitempty"`
+	// Resumed marks an open event continuing an interrupted session;
+	// Replay marks a re-emitted journal-tail event on such a resume.
+	Resumed bool `json:"resumed,omitempty"`
+	Replay  bool `json:"replay,omitempty"`
 	// Assign / reject fields.
 	Seq      int   `json:"seq,omitempty"`
 	JobID    int   `json:"job_id,omitempty"`
@@ -346,11 +360,18 @@ type StreamEvent struct {
 	Opened   bool  `json:"opened,omitempty"`
 	Marginal int64 `json:"marginal,omitempty"`
 	Open     int   `json:"open_machines,omitempty"`
+	// Per-stage serving timings for assign/reject events: time queued
+	// before the flush, the flush's wall clock, this arrival's strategy
+	// time. Telemetry only — deliberately absent from the journal, whose
+	// records are a deterministic function of the arrival sequence.
+	QueueNS int64 `json:"queue_ns,omitempty"`
+	FlushNS int64 `json:"flush_ns,omitempty"`
+	SolveNS int64 `json:"solve_ns,omitempty"`
 	// Telemetry after the event (also the final totals on close).
 	Cost       int64   `json:"cost"`
 	LowerBound int64   `json:"lower_bound"`
 	Ratio      float64 `json:"ratio"`
-	// Close-only fields.
+	// Close-only fields (Strategy and Arrivals also ride the open event).
 	Strategy       string `json:"strategy,omitempty"`
 	Arrivals       int    `json:"arrivals,omitempty"`
 	Admitted       int    `json:"admitted,omitempty"`
@@ -359,6 +380,9 @@ type StreamEvent struct {
 	RejectedWeight int64  `json:"rejected_weight,omitempty"`
 	MachinesOpened int    `json:"machines_opened,omitempty"`
 	PeakOpen       int    `json:"peak_open,omitempty"`
+	// Chain is the journal's final hash on close — the certificate a
+	// client can verify against GET /v1/stream/journal.
+	Chain string `json:"chain,omitempty"`
 	// Error-only field.
 	Error string `json:"error,omitempty"`
 }
@@ -387,13 +411,17 @@ func WireStreamEvent(ev online.Event) StreamEvent {
 	return out
 }
 
-// WireStreamClose encodes the session's final report. It is shared by
+// WireStreamClose encodes the session's final report with its identity:
+// the session id and the journal chain's final hash. It is shared by
 // the handler and the clients that re-derive the expected close event
 // from an offline replay (busysim stream -verify, the e2e tests), so
-// "byte-equal to the offline harness" is checked against one codec.
-func WireStreamClose(sum online.Summary) StreamEvent {
+// "byte-equal to the offline harness" — now including the certificate
+// chain — is checked against one codec.
+func WireStreamClose(sum online.Summary, session, chain string) StreamEvent {
 	return StreamEvent{
 		Type:           StreamEventClose,
+		Session:        session,
+		Chain:          chain,
 		Strategy:       sum.Strategy,
 		Arrivals:       sum.Arrivals,
 		Admitted:       sum.Admitted,
