@@ -51,6 +51,7 @@ import (
 	"repro/internal/localsearch"
 	"repro/internal/online"
 	"repro/internal/rect"
+	"repro/internal/reopt"
 	"repro/internal/workload"
 )
 
@@ -183,6 +184,17 @@ var (
 	// ImproveSchedule hill-climbs a valid schedule to a local optimum of
 	// no greater cost (beyond-paper addition, experiment E15).
 	ImproveSchedule = localsearch.Improve
+)
+
+// Reoptimization (beyond paper, after "Optimization and Reoptimization
+// in Scheduling Problems", arXiv 1509.01630; enabled per Solver with
+// WithReoptimization).
+var (
+	// FingerprintInstance returns the canonical-form fingerprint of an
+	// instance: two instances share it exactly when they agree up to job
+	// order, job IDs and a uniform time translation — the metamorphic
+	// equivalence classes of the conformance harness.
+	FingerprintInstance = reopt.Fingerprint
 )
 
 // Online scheduling (beyond-paper extension, after Shalom et al., "Online

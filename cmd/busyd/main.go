@@ -61,6 +61,8 @@ func main() {
 		journalPath  = flag.String("journal", "", "durable stream journal file (default: in-memory, lost on exit)")
 		streamBatch  = flag.Int("stream-batch", 0, "stream micro-batch size cap (0 = default)")
 		streamWait   = flag.Duration("stream-batch-wait", 0, "stream micro-batch flush deadline (0 = greedy, flush whatever queued)")
+		reoptCache   = flag.Int("reopt-cache", 512, "reoptimization cache entries (0 = default 512, negative = disabled)")
+		maxSessions  = flag.Int("max-closed-sessions", 4096, "closed stream sessions retained by the in-memory journal (0 = unbounded; ignored with -journal)")
 		pprofOn      = flag.Bool("pprof", false, "serve /debug/pprof (off by default)")
 		quiet        = flag.Bool("quiet", false, "suppress the per-request JSON log on stderr")
 	)
@@ -77,6 +79,7 @@ func main() {
 		DrainTimeout:    *drainTimeout,
 		StreamBatch:     *streamBatch,
 		StreamBatchWait: *streamWait,
+		ReoptCache:      *reoptCache,
 		EnablePprof:     *pprofOn,
 	}
 	if !*quiet {
@@ -92,6 +95,10 @@ func main() {
 		}
 		defer store.Close()
 		cfg.Journal = store
+	} else {
+		// The in-memory default is retention-capped: a long-lived daemon
+		// must not grow without bound as finished streams accumulate.
+		cfg.Journal = journal.NewMemStoreWithRetention(*maxSessions)
 	}
 
 	srv, err := server.New(cfg)

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -153,11 +154,21 @@ func runLoadgen(args []string, out io.Writer) error {
 	return nil
 }
 
-// percentile returns the p-th percentile of the sorted latency sample.
+// percentile returns the p-th percentile of the sorted latency sample
+// using the nearest-rank definition: the smallest value with at least
+// p·n samples at or below it. Truncating interpolation (the previous
+// i = ⌊p·(n−1)⌋) reads the wrong rank for tail percentiles — p99 of 50
+// samples landed on index 48, under-reporting the tail by one slot.
 func percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)-1))
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }

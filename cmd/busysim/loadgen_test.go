@@ -5,6 +5,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/server"
 )
@@ -45,5 +46,41 @@ func TestLoadgenBadFlags(t *testing.T) {
 	}
 	if err := runLoadgen([]string{"-workload", "nope"}, &out); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition on known
+// samples. The regression case is the tail: with 50 samples, p99 must
+// read the maximum (rank 50, index 49) — the old truncating
+// interpolation read index 48.
+func TestPercentileNearestRank(t *testing.T) {
+	if percentile(nil, 0.99) != 0 {
+		t.Fatal("empty sample should report 0")
+	}
+
+	// samples[i] = (i+1) ms, so the value at rank k is k ms.
+	samples := make([]time.Duration, 50)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 25 * time.Millisecond}, // ⌈0.50·50⌉ = rank 25
+		{0.90, 45 * time.Millisecond}, // ⌈0.90·50⌉ = rank 45
+		{0.99, 50 * time.Millisecond}, // ⌈0.99·50⌉ = rank 50: the max
+		{1.00, 50 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(samples, c.p); got != c.want {
+			t.Errorf("percentile(50 samples, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+
+	// Odd-sized sample: p50 of 5 values is rank 3, the true median.
+	odd := []time.Duration{1, 2, 3, 4, 5}
+	if got := percentile(odd, 0.50); got != 3 {
+		t.Errorf("median of 5 = %v, want 3", got)
 	}
 }

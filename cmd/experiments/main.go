@@ -1,9 +1,10 @@
 // Command experiments regenerates every table in EXPERIMENTS.md by running
-// the full E1…E17 experiment suite and printing the rendered results.
+// the full E1…E18 experiment suite and printing the rendered results.
 // E16 is the registry-driven conformance harness: it walks the algorithm
 // registry, so a newly registered algorithm appears in its table
 // automatically. E17 cross-checks the streaming online sessions against
-// the offline replay harness.
+// the offline replay harness. E18 measures the reoptimization layer:
+// warm-started delta solves against solve-from-scratch.
 //
 // Usage:
 //
@@ -51,8 +52,9 @@ func main() {
 		"E15": func() experiments.Result { return experiments.E15(min(*seeds, 30)) },
 		"E16": func() experiments.Result { return experiments.E16(min(*seeds, 5)) },
 		"E17": func() experiments.Result { return experiments.E17(min(*seeds, 20)) },
+		"E18": func() experiments.Result { return experiments.E18(min(*seeds, 10)) },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16", "E17"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E13", "E14", "E15", "E16", "E17", "E18"}
 
 	if *only != "" {
 		run, ok := runners[*only]

@@ -19,8 +19,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"strings"
+	"time"
 
+	busytime "repro"
 	"repro/internal/conformance"
 	"repro/internal/core"
 	"repro/internal/demand"
@@ -837,6 +840,99 @@ func E17(seeds int) Result {
 	}
 }
 
+// E18 measures the reoptimization layer (beyond paper): warm-started
+// delta solves against solve-from-scratch at n=1000 across delta sizes.
+// For each trial a base instance is solved once into the fingerprint
+// cache, then a delta instance (d jobs dropped, d added, canonical
+// origin preserved) is solved twice — cold on a cache-free solver,
+// warm on the cached one — and both wall clocks, costs and transition
+// counts are compared. Every warm solve must be served via repair with
+// a valid certificate, and single-job deltas must beat scratch on
+// median wall clock: the whole point of carrying the incumbent.
+func E18(seeds int) Result {
+	cfg := workload.Config{N: 1000, G: 4, MaxTime: 8000, MaxLen: 120}
+	ctx := context.Background()
+	deltas := []int{1, 4, 16}
+	t := &stats.Table{Header: []string{"delta", "median speedup", "mean cost ratio", "mean transition", "repairs"}}
+	for _, d := range deltas {
+		var speedups, costRatios, transitions []float64
+		repairs := 0
+		for seed := 1; seed <= seeds; seed++ {
+			base := workload.General(int64(seed), cfg)
+			warm := busytime.NewSolver(busytime.WithReoptimization(8))
+			if _, err := warm.Solve(ctx, busytime.Request{Instance: base}); err != nil {
+				panic(fmt.Sprintf("E18: base solve: %v", err))
+			}
+
+			// The delta: drop the d latest-starting jobs (the canonical
+			// origin — the min start — survives) and add d interior jobs.
+			mod := base.SortedByStart()
+			minStart := mod.Jobs[0].Start()
+			mod.Jobs = mod.Jobs[:len(mod.Jobs)-d]
+			for k := 0; k < d; k++ {
+				start := minStart + int64(37*(k+1)+seed*13)%cfg.MaxTime
+				mod.Jobs = append(mod.Jobs, job.New(2_000_000+k, start, start+int64(20+k)))
+			}
+
+			scratchStart := time.Now()
+			scratch, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: mod})
+			if err != nil {
+				panic(fmt.Sprintf("E18: scratch solve: %v", err))
+			}
+			scratchTime := time.Since(scratchStart)
+
+			warmStart := time.Now()
+			rep, err := warm.Solve(ctx, busytime.Request{Instance: mod})
+			if err != nil {
+				panic(fmt.Sprintf("E18: warm solve: %v", err))
+			}
+			warmTime := time.Since(warmStart)
+
+			if rep.CacheOutcome != busytime.CacheRepair {
+				panic(fmt.Sprintf("E18: delta %d seed %d served as %q, want repair", d, seed, rep.CacheOutcome))
+			}
+			if err := rep.Certificate(); err != nil {
+				panic(fmt.Sprintf("E18: repair certificate: %v", err))
+			}
+			if err := scratch.Certificate(); err != nil {
+				panic(fmt.Sprintf("E18: scratch certificate: %v", err))
+			}
+			repairs++
+			speedups = append(speedups, float64(scratchTime)/float64(warmTime))
+			costRatios = append(costRatios, float64(rep.Cost)/float64(scratch.Cost))
+			transitions = append(transitions, float64(rep.Transition))
+		}
+		med := median(speedups)
+		cMean, _ := ratioStats(costRatios)
+		tMean, _ := ratioStats(transitions)
+		t.Add(fmt.Sprintf("%d", d), fmt.Sprintf("%.1fx", med), fmt.Sprintf("%.4f", cMean), fmt.Sprintf("%.1f", tMean), repairs)
+		if d == 1 && med <= 1 {
+			panic(fmt.Sprintf("E18: single-job deltas repaired at %.2fx — not faster than scratch", med))
+		}
+	}
+	return Result{
+		ID:    "E18",
+		Title: "reoptimization: warm-started delta solves vs solve-from-scratch (beyond paper)",
+		Claim: "repairing the cached incumbent around a small delta is faster than re-solving, at near-scratch cost, with transition cost proportional to the delta",
+		Table: t,
+		Notes: []string{fmt.Sprintf("n=%d g=%d, d jobs dropped + d added per trial; speedup is scratch/warm wall clock", cfg.N, cfg.G)},
+	}
+}
+
+// median returns the middle of the sorted copy (mean of the two middles
+// for even sizes).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
 func treeLaminarTrial(seed int64) (tree.Assignment, int64) {
 	// Line of 30 unit edges, requests all anchored at node 0.
 	edges := make([]tree.Edge, 30)
@@ -905,7 +1001,7 @@ func All() []Result {
 	return []Result{
 		E1(Seeds), E2(Seeds), E3(Seeds), E4(Seeds), E5(), E6(10),
 		E7(Seeds), E8(30), E9(Seeds), E10(30), E11(Seeds), E13(20), E14(30), E15(30), E16(3),
-		E17(10),
+		E17(10), E18(5),
 	}
 }
 

@@ -193,7 +193,7 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full experiment suite in short mode")
 	}
 	rs := All()
-	if len(rs) != 16 {
+	if len(rs) != 17 {
 		t.Fatalf("All produced %d results", len(rs))
 	}
 	ids := map[string]bool{}

@@ -377,3 +377,75 @@ func TestMemStoreRejectsForeignRecords(t *testing.T) {
 		t.Fatal("Append accepted a record filed under the wrong session")
 	}
 }
+
+// TestMemStoreRetention pins the closed-session retention cap: beyond
+// the cap the oldest-closed session is evicted wholesale, while active
+// (never-closed) sessions are immune no matter how old they are. The
+// uncapped constructor must keep everything — the prior behavior, and
+// still the right one for tests and short-lived processes.
+func TestMemStoreRetention(t *testing.T) {
+	closedRecords := func(session string) []Record {
+		recs, _, err := Certify(session, plainParams(), testArrivals(3))
+		if err != nil {
+			t.Fatalf("Certify(%s): %v", session, err)
+		}
+		return recs
+	}
+
+	st := NewMemStoreWithRetention(2)
+
+	// An active session appended before any closed one: records without
+	// a close. It must survive every eviction below.
+	activeRecs := closedRecords("s-active")
+	if err := st.Append("s-active", activeRecs[:len(activeRecs)-1]); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, session := range []string{"s-c1", "s-c2", "s-c3", "s-c4"} {
+		if err := st.Append(session, closedRecords(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := st.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s-active", "s-c3", "s-c4"}
+	if len(got) != len(want) {
+		t.Fatalf("Sessions() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sessions() = %v, want %v", got, want)
+		}
+	}
+	if _, err := st.Read("s-c1"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("evicted session read: %v, want ErrUnknownSession", err)
+	}
+	if recs, err := st.Read("s-active"); err != nil || len(recs) != len(activeRecs)-1 {
+		t.Fatalf("active session: %d records, %v", len(recs), err)
+	}
+
+	// Closing the active session now makes it evictable like any other.
+	if err := st.Append("s-active", activeRecs[len(activeRecs)-1:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append("s-c5", closedRecords("s-c5")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Read("s-c3"); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("s-c3 should be evicted after s-active closed: %v", err)
+	}
+
+	// The uncapped store never evicts.
+	unbounded := NewMemStore()
+	for _, session := range []string{"s-u1", "s-u2", "s-u3"} {
+		if err := unbounded.Append(session, closedRecords(session)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := unbounded.Sessions(); len(got) != 3 {
+		t.Fatalf("unbounded store evicted: %v", got)
+	}
+}

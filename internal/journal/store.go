@@ -34,16 +34,38 @@ type Store interface {
 
 // MemStore is the in-memory Store: the default for busyd without a
 // journal path, and the workhorse for tests. Records survive as long as
-// the process does.
+// the process does — optionally bounded by a closed-session retention
+// cap, because a long-lived daemon otherwise accumulates every finished
+// stream forever (each closed session kept its full record slice with no
+// eviction path).
 type MemStore struct {
 	mu       sync.Mutex
 	sessions map[string][]Record
 	ids      []string // first-append order; sorted on listing
+
+	// maxClosed caps retained closed sessions (0 = unbounded). closed is
+	// the eviction queue in close order: when a KindClose record lands and
+	// the cap is exceeded, the oldest-closed session is dropped entirely.
+	// Active (never-closed) sessions are never evicted — they may still be
+	// resumed.
+	maxClosed int
+	closed    []string
 }
 
-// NewMemStore returns an empty in-memory store.
+// NewMemStore returns an empty in-memory store with unbounded retention.
 func NewMemStore() *MemStore {
 	return &MemStore{sessions: map[string][]Record{}}
+}
+
+// NewMemStoreWithRetention returns an in-memory store that retains at
+// most maxClosed closed sessions, evicting the oldest-closed first.
+// Sessions that have not seen a close record are never evicted.
+// maxClosed <= 0 means unbounded (same as NewMemStore).
+func NewMemStoreWithRetention(maxClosed int) *MemStore {
+	if maxClosed < 0 {
+		maxClosed = 0
+	}
+	return &MemStore{sessions: map[string][]Record{}, maxClosed: maxClosed}
 }
 
 // Append implements Store.
@@ -57,6 +79,25 @@ func (s *MemStore) Append(session string, recs []Record) error {
 		s.ids = append(s.ids, session)
 	}
 	s.sessions[session] = append(s.sessions[session], recs...)
+	if s.maxClosed > 0 {
+		for i := range recs {
+			if recs[i].Kind == KindClose {
+				s.closed = append(s.closed, session)
+				break
+			}
+		}
+		for len(s.closed) > s.maxClosed {
+			victim := s.closed[0]
+			s.closed = s.closed[1:]
+			delete(s.sessions, victim)
+			for i, id := range s.ids {
+				if id == victim {
+					s.ids = append(s.ids[:i], s.ids[i+1:]...)
+					break
+				}
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,154 @@
+package reopt
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/igraph"
+)
+
+// Entry is one cached solve: the canonical instance it answered and the
+// assignment in canonical position order, so any submission with the
+// same canonical form can have the schedule remapped onto its own job
+// positions. Machine labels are compact (0..k−1).
+type Entry struct {
+	// ID is the cache-assigned result identifier a later Request.BaseID
+	// can reference.
+	ID string
+	// Fingerprint keys the entry (canonical form + solver scope).
+	Fingerprint string
+	// G and Jobs are the canonical instance.
+	G    int
+	Jobs []CanonJob
+	// Machine[k] is the machine of the job at canonical position k.
+	Machine []int
+	// Algorithm, Class and Cost describe the solve that produced it.
+	Algorithm string
+	Class     igraph.Class
+	Cost      int64
+}
+
+// Cache is a bounded LRU of prior solves keyed by canonical-form
+// fingerprint, with a secondary index by result ID for explicit BaseID
+// warm starts. It is safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	seq      int64
+	lru      *list.List // of *Entry; front = most recently used
+	byFP     map[string]*list.Element
+	byID     map[string]*list.Element
+}
+
+// NewCache returns an empty cache holding at most capacity entries
+// (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		lru:      list.New(),
+		byFP:     map[string]*list.Element{},
+		byID:     map[string]*list.Element{},
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Lookup returns the entry with the exact fingerprint, promoting it to
+// most-recently-used.
+func (c *Cache) Lookup(fp string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(el)
+	return *el.Value.(*Entry), true
+}
+
+// LookupID returns the entry with the given result ID, promoting it.
+func (c *Cache) LookupID(id string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return Entry{}, false
+	}
+	c.lru.MoveToFront(el)
+	return *el.Value.(*Entry), true
+}
+
+// Nearest scans for the cached entry with the smallest symmetric
+// difference of canonical job multisets against the submitted form,
+// considering only entries with the same g, scope-compatible
+// fingerprints being the caller's concern. It returns the best entry
+// whose difference is at most maxDelta, ties broken toward the more
+// recently used. Entries whose job count already differs by more than
+// maxDelta are skipped without a merge, so the scan stays cheap.
+func (c *Cache) Nearest(g int, jobs []CanonJob, maxDelta int) (Entry, int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *list.Element
+	bestDelta := maxDelta + 1
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*Entry)
+		if e.G != g {
+			continue
+		}
+		if d := len(e.Jobs) - len(jobs); d > bestDelta-1 || -d > bestDelta-1 {
+			continue
+		}
+		if d := SymDiff(e.Jobs, jobs, bestDelta-1); d < bestDelta {
+			best, bestDelta = el, d
+			if bestDelta == 0 {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return Entry{}, 0, false
+	}
+	c.lru.MoveToFront(best)
+	return *best.Value.(*Entry), bestDelta, true
+}
+
+// Store inserts the entry, assigns its ID, and evicts the least
+// recently used entry beyond capacity. Storing a fingerprint that is
+// already cached replaces the old entry (the new solve is fresher) but
+// keeps the old ID resolvable until eviction would have claimed it —
+// simplest correct behavior: the old entry is removed, so a BaseID
+// pointing at it falls back to the fingerprint path.
+func (c *Cache) Store(e Entry) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.byFP[e.Fingerprint]; ok {
+		c.remove(old)
+	}
+	c.seq++
+	e.ID = fmt.Sprintf("r-%d-%.12s", c.seq, e.Fingerprint)
+	el := c.lru.PushFront(&e)
+	c.byFP[e.Fingerprint] = el
+	c.byID[e.ID] = el
+	for c.lru.Len() > c.capacity {
+		c.remove(c.lru.Back())
+	}
+	return e.ID
+}
+
+// remove unlinks an element from the list and both indexes; the caller
+// holds the mutex.
+func (c *Cache) remove(el *list.Element) {
+	e := el.Value.(*Entry)
+	delete(c.byFP, e.Fingerprint)
+	delete(c.byID, e.ID)
+	c.lru.Remove(el)
+}

@@ -1,0 +1,120 @@
+package reopt_test
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/reopt"
+	"repro/internal/workload"
+)
+
+func entryFor(in job.Instance) reopt.Entry {
+	jobs, _ := reopt.Canonical(in)
+	machine := make([]int, len(jobs))
+	return reopt.Entry{
+		Fingerprint: reopt.Fingerprint(in),
+		G:           in.G,
+		Jobs:        jobs,
+		Machine:     machine,
+		Algorithm:   "test",
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := reopt.NewCache(2)
+	cfg := workload.Config{N: 8, G: 2, MaxTime: 100, MaxLen: 10}
+	a := workload.General(1, cfg)
+	b := workload.General(2, cfg)
+	d := workload.General(3, cfg)
+
+	idA := c.Store(entryFor(a))
+	c.Store(entryFor(b))
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Lookup(reopt.Fingerprint(a)); !ok {
+		t.Fatal("a not found after store")
+	}
+	c.Store(entryFor(d))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Lookup(reopt.Fingerprint(b)); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.Lookup(reopt.Fingerprint(a)); !ok {
+		t.Error("a (recently used) should survive")
+	}
+	if _, ok := c.LookupID(idA); !ok {
+		t.Error("LookupID(a) should resolve")
+	}
+}
+
+func TestCacheStoreReplacesSameFingerprint(t *testing.T) {
+	c := reopt.NewCache(4)
+	in := workload.General(5, workload.Config{N: 6, G: 2, MaxTime: 50, MaxLen: 8})
+	e := entryFor(in)
+	e.Cost = 10
+	oldID := c.Store(e)
+	e.Cost = 7
+	newID := c.Store(e)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after same-fp store", c.Len())
+	}
+	if oldID == newID {
+		t.Fatal("replacement should get a fresh ID")
+	}
+	if _, ok := c.LookupID(oldID); ok {
+		t.Error("replaced entry's ID should no longer resolve")
+	}
+	got, ok := c.Lookup(e.Fingerprint)
+	if !ok || got.Cost != 7 {
+		t.Fatalf("Lookup = (%+v, %v), want fresher cost 7", got, ok)
+	}
+}
+
+func TestCacheNearest(t *testing.T) {
+	c := reopt.NewCache(8)
+	base := workload.General(9, workload.Config{N: 20, G: 3, MaxTime: 200, MaxLen: 20})
+	c.Store(entryFor(base))
+
+	// One job dropped: symmetric difference 1.
+	delta := base.Clone()
+	delta.Jobs = delta.Jobs[1:]
+	jobs, _ := reopt.Canonical(delta)
+
+	e, d, ok := c.Nearest(base.G, jobs, 4)
+	if !ok || d != 1 {
+		t.Fatalf("Nearest = (_, %d, %v), want delta 1", d, ok)
+	}
+	if e.Fingerprint != reopt.Fingerprint(base) {
+		t.Error("Nearest returned the wrong entry")
+	}
+
+	// A different capacity never matches.
+	if _, _, ok := c.Nearest(base.G+1, jobs, 4); ok {
+		t.Error("Nearest matched across capacities")
+	}
+	// A tight maxDelta excludes the entry.
+	if _, _, ok := c.Nearest(base.G, jobs, 0); ok {
+		t.Error("Nearest matched beyond maxDelta")
+	}
+}
+
+func TestCacheNearestPrefersSmallestDelta(t *testing.T) {
+	c := reopt.NewCache(8)
+	base := workload.General(13, workload.Config{N: 16, G: 2, MaxTime: 150, MaxLen: 15})
+	far := base.Clone()
+	far.Jobs = far.Jobs[4:] // delta 4 from base
+	c.Store(entryFor(far))
+	c.Store(entryFor(base)) // delta 1 from query
+
+	query := base.Clone()
+	query.Jobs = query.Jobs[1:]
+	jobs, _ := reopt.Canonical(query)
+	e, d, ok := c.Nearest(base.G, jobs, 8)
+	if !ok || d != 1 {
+		t.Fatalf("Nearest = (_, %d, %v), want the delta-1 entry", d, ok)
+	}
+	if e.Fingerprint != reopt.Fingerprint(base) {
+		t.Error("Nearest picked the farther entry")
+	}
+}

@@ -1,0 +1,137 @@
+// Package reopt implements the reoptimization layer: canonical-form
+// instance fingerprinting, a bounded cache of prior solves, and a local
+// repair solver that warm-starts from a cached incumbent assignment.
+//
+// Production clients resubmit near-identical instances — one job added,
+// one cancelled, a window shifted — and the metamorphic equivalence
+// classes of the conformance harness (job permutation, time translation,
+// ID renumbering) define exactly when two submissions are the same
+// instance: cost and validity are invariant under all three. The
+// canonical form quotients by them — jobs sorted to the paper's
+// J1 ≤ … ≤ Jn order, the time line translated to a zero origin, IDs
+// dropped — so a fingerprint lookup serves permuted and time-shifted
+// resubmissions for free, and a small symmetric difference of canonical
+// job multisets routes through the repair path (following "Optimization
+// and Reoptimization in Scheduling Problems", arXiv 1509.01630).
+package reopt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+
+	"repro/internal/job"
+)
+
+// CanonJob is one job in canonical form: translated so the instance's
+// earliest start is zero, stripped of its ID. Two jobs with equal
+// CanonJob values are interchangeable in any schedule.
+type CanonJob struct {
+	Start, End     int64
+	Weight, Demand int64
+}
+
+func (c CanonJob) less(o CanonJob) bool {
+	if c.Start != o.Start {
+		return c.Start < o.Start
+	}
+	if c.End != o.End {
+		return c.End < o.End
+	}
+	if c.Weight != o.Weight {
+		return c.Weight < o.Weight
+	}
+	return c.Demand < o.Demand
+}
+
+// Canonical returns the instance's canonical job sequence — sorted by
+// (start, end, weight, demand) after translating the earliest start to
+// zero — and the permutation mapping canonical positions back to
+// instance positions: perm[k] is the index into in.Jobs of the job at
+// canonical position k. Jobs with equal canonical tuples are
+// interchangeable, so the tie-break among them (instance position) never
+// affects the fingerprint or the validity of a remapped schedule.
+func Canonical(in job.Instance) (jobs []CanonJob, perm []int) {
+	n := len(in.Jobs)
+	jobs = make([]CanonJob, n)
+	perm = make([]int, n)
+	if n == 0 {
+		return jobs, perm
+	}
+	origin := in.Jobs[0].Start()
+	for _, j := range in.Jobs[1:] {
+		if j.Start() < origin {
+			origin = j.Start()
+		}
+	}
+	for i, j := range in.Jobs {
+		jobs[i] = CanonJob{Start: j.Start() - origin, End: j.End() - origin, Weight: j.Weight, Demand: j.Demand}
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool { return jobs[perm[a]].less(jobs[perm[b]]) })
+	sorted := make([]CanonJob, n)
+	for k, p := range perm {
+		sorted[k] = jobs[p]
+	}
+	return sorted, perm
+}
+
+// FingerprintCanon hashes an already-canonical job sequence together
+// with the capacity g and a scope string (the pinned algorithm name, so
+// solvers pinned to different algorithms never serve each other's
+// schedules). The digest is hex SHA-256.
+func FingerprintCanon(g int, jobs []CanonJob, scope string) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(scope))
+	h.Write([]byte{0})
+	word(int64(g))
+	word(int64(len(jobs)))
+	for _, j := range jobs {
+		word(j.Start)
+		word(j.End)
+		word(j.Weight)
+		word(j.Demand)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Fingerprint returns the canonical-form fingerprint of an instance:
+// equal exactly when two instances agree up to job order, job IDs and a
+// uniform time translation.
+func Fingerprint(in job.Instance) string {
+	jobs, _ := Canonical(in)
+	return FingerprintCanon(in.G, jobs, "")
+}
+
+// SymDiff returns the size of the symmetric difference of two canonical
+// job multisets (both sorted, as Canonical returns them): the number of
+// jobs present in one but not the other, counting multiplicity. The
+// merge aborts early once the running count exceeds limit (limit < 0
+// never aborts), returning a value > limit.
+func SymDiff(a, b []CanonJob, limit int) int {
+	diff := 0
+	i, k := 0, 0
+	for i < len(a) && k < len(b) {
+		switch {
+		case a[i] == b[k]:
+			i++
+			k++
+		case a[i].less(b[k]):
+			diff++
+			i++
+		default:
+			diff++
+			k++
+		}
+		if limit >= 0 && diff > limit {
+			return diff
+		}
+	}
+	return diff + (len(a) - i) + (len(b) - k)
+}

@@ -1,0 +1,136 @@
+package reopt_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/job"
+	"repro/internal/reopt"
+	"repro/internal/workload"
+)
+
+// solvedEntry runs first-fit on the instance and caches its assignment.
+func solvedEntry(t *testing.T, in job.Instance) reopt.Entry {
+	t.Helper()
+	sch := core.FirstFit(in)
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("first-fit produced invalid base schedule: %v", err)
+	}
+	jobs, perm := reopt.Canonical(in)
+	machine, err := reopt.CanonicalAssignment(sch, perm)
+	if err != nil {
+		t.Fatalf("CanonicalAssignment: %v", err)
+	}
+	return reopt.Entry{
+		Fingerprint: reopt.Fingerprint(in),
+		G:           in.G,
+		Jobs:        jobs,
+		Machine:     machine,
+		Algorithm:   "first-fit",
+		Cost:        sch.Cost(),
+	}
+}
+
+func TestRepairValidAfterDelta(t *testing.T) {
+	base := workload.General(21, workload.Config{N: 40, G: 3, MaxTime: 400, MaxLen: 40})
+	e := solvedEntry(t, base)
+
+	// Delta: drop two jobs, add two new ones.
+	mod := base.Clone()
+	mod.Jobs = mod.Jobs[2:]
+	mod.Jobs = append(mod.Jobs,
+		job.New(900, 10, 60),
+		job.New(901, 350, 390),
+	)
+	jobs, perm := reopt.Canonical(mod)
+	rep, err := reopt.Repair(e, mod, jobs, perm, 0)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if err := rep.Schedule.Validate(); err != nil {
+		t.Fatalf("repaired schedule invalid: %v", err)
+	}
+	if rep.Added != 2 || rep.Removed != 2 {
+		t.Errorf("Added/Removed = %d/%d, want 2/2", rep.Added, rep.Removed)
+	}
+	if got, lb := rep.Schedule.Cost(), mod.LowerBound(); got < lb {
+		t.Errorf("repaired cost %d below lower bound %d", got, lb)
+	}
+}
+
+func TestRepairIdenticalInstanceZeroTransition(t *testing.T) {
+	base := workload.Proper(33, workload.Config{N: 30, G: 2, MaxTime: 300, MaxLen: 30})
+	e := solvedEntry(t, base)
+	jobs, perm := reopt.Canonical(base)
+	rep, err := reopt.Repair(e, base, jobs, perm, 0)
+	if err != nil {
+		t.Fatalf("Repair: %v", err)
+	}
+	if rep.Transition != 0 || rep.Added != 0 || rep.Removed != 0 {
+		t.Errorf("identical instance: transition/added/removed = %d/%d/%d, want 0/0/0",
+			rep.Transition, rep.Added, rep.Removed)
+	}
+	if rep.Schedule.Cost() != e.Cost {
+		t.Errorf("cost %d, want incumbent %d", rep.Schedule.Cost(), e.Cost)
+	}
+}
+
+func TestRepairTransitionBudget(t *testing.T) {
+	base := workload.General(44, workload.Config{N: 40, G: 3, MaxTime: 300, MaxLen: 40})
+	e := solvedEntry(t, base)
+
+	mod := base.Clone()
+	mod.Jobs = append(mod.Jobs, job.New(950, 0, 300)) // horizon-spanning job shakes things up
+	jobs, perm := reopt.Canonical(mod)
+
+	for _, budget := range []int{1, 2, len(mod.Jobs)} {
+		rep, err := reopt.Repair(e, mod, jobs, perm, budget)
+		if err != nil {
+			t.Fatalf("Repair(budget=%d): %v", budget, err)
+		}
+		if err := rep.Schedule.Validate(); err != nil {
+			t.Fatalf("budget %d: invalid schedule: %v", budget, err)
+		}
+		if rep.Transition > budget {
+			t.Errorf("budget %d: transition %d exceeds budget", budget, rep.Transition)
+		}
+	}
+}
+
+func TestRepairRejectsCapacityMismatch(t *testing.T) {
+	base := workload.General(55, workload.Config{N: 10, G: 2, MaxTime: 100, MaxLen: 10})
+	e := solvedEntry(t, base)
+	mod := base.Clone()
+	mod.G = 3
+	jobs, perm := reopt.Canonical(mod)
+	if _, err := reopt.Repair(e, mod, jobs, perm, 0); err == nil {
+		t.Fatal("Repair should reject a capacity mismatch")
+	}
+}
+
+func TestRemapAssignmentRoundTrip(t *testing.T) {
+	in := workload.Clique(66, workload.Config{N: 20, G: 4, MaxTime: 200, MaxLen: 25})
+	e := solvedEntry(t, in)
+
+	// Remap onto a permuted + translated resubmission of the same form.
+	// Translation changes absolute coordinates but not the canonical form,
+	// so the entry no longer matches; only permutation keeps the form.
+	resub := in.Clone()
+	for i, j := 0, len(resub.Jobs)-1; i < j; i, j = i+1, j-1 {
+		resub.Jobs[i], resub.Jobs[j] = resub.Jobs[j], resub.Jobs[i]
+	}
+	if reopt.Fingerprint(resub) != e.Fingerprint {
+		t.Fatal("permuted resubmission should share the fingerprint")
+	}
+	_, perm := reopt.Canonical(resub)
+	sch, err := reopt.RemapAssignment(e, resub, perm)
+	if err != nil {
+		t.Fatalf("RemapAssignment: %v", err)
+	}
+	if err := sch.Validate(); err != nil {
+		t.Fatalf("remapped schedule invalid: %v", err)
+	}
+	if sch.Cost() != e.Cost {
+		t.Errorf("remapped cost %d, want cached %d", sch.Cost(), e.Cost)
+	}
+}

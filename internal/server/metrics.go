@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	busytime "repro"
 	"repro/internal/safemath"
 )
 
@@ -33,6 +34,12 @@ var batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 // flushSizeBounds bucket the arrivals per stream micro-batch flush; the
 // stream batcher caps at StreamBatch (default 128).
 var flushSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// transitionBounds bucket the reoptimization transition cost — the
+// number of carried-over jobs a repair reassigned. Zero is its own
+// bucket: an in-place repair that disturbed nothing is the common case
+// worth seeing directly.
+var transitionBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 // streamStages are the per-arrival serving stages broken out in
 // /metrics: time queued before a flush, the flush wall clock (journal
@@ -122,10 +129,14 @@ type metrics struct {
 	streamsResumed     atomic.Int64 // sessions continued from their journal
 	requestsJournal    atomic.Int64 // GET /v1/stream/journal
 	batchInstances     atomic.Int64 // total requests across all batches
+	reoptHits          atomic.Int64 // solves served from the fingerprint cache
+	reoptRepairs       atomic.Int64 // solves warm-started and repaired from a near-hit or BaseID
+	reoptMisses        atomic.Int64 // solves that ran cold and seeded the cache
 	solveLatency       *histogram
 	batchLatency       *histogram
 	batchSize          *histogram
 	flushSize          *histogram // arrivals per stream micro-batch flush
+	transitionCost     *histogram // reassigned jobs per repair
 
 	// eventLatency holds one stream-event latency histogram per online
 	// strategy, keyed by canonical name and grown lazily on first use so
@@ -139,12 +150,13 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		solveLatency: newHistogram(latencyBounds, 1e9),
-		batchLatency: newHistogram(latencyBounds, 1e9),
-		batchSize:    newHistogram(batchSizeBounds, 1),
-		flushSize:    newHistogram(flushSizeBounds, 1),
-		eventLatency: map[string]*histogram{},
-		stageLatency: map[string]*[len(streamStages)]*histogram{},
+		solveLatency:   newHistogram(latencyBounds, 1e9),
+		batchLatency:   newHistogram(latencyBounds, 1e9),
+		batchSize:      newHistogram(batchSizeBounds, 1),
+		flushSize:      newHistogram(flushSizeBounds, 1),
+		transitionCost: newHistogram(transitionBounds, 1),
+		eventLatency:   map[string]*histogram{},
+		stageLatency:   map[string]*[len(streamStages)]*histogram{},
 	}
 }
 
@@ -202,6 +214,22 @@ func (m *metrics) observeFlushSize(size int) {
 	m.flushSize.observe(float64(size), int64(size))
 }
 
+// observeReopt records one solve's cache outcome ("hit", "repair",
+// "miss" — busytime's CacheOutcome strings) and, on a repair, its
+// transition cost. Unknown or empty outcomes (cache disabled, non-cached
+// kinds) are deliberately not counted.
+func (m *metrics) observeReopt(outcome string, transition int) {
+	switch outcome {
+	case busytime.CacheHit:
+		m.reoptHits.Add(1)
+	case busytime.CacheRepair:
+		m.reoptRepairs.Add(1)
+		m.transitionCost.observe(float64(transition), int64(transition))
+	case busytime.CacheMiss:
+		m.reoptMisses.Add(1)
+	}
+}
+
 // writeTo renders every counter in the Prometheus text format — plain
 // counters and gauges, no client library dependency.
 func (m *metrics) writeTo(w io.Writer) {
@@ -240,6 +268,11 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP busyd_batch_instances_total Requests received inside batches.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_instances_total counter\n")
 	fmt.Fprintf(w, "busyd_batch_instances_total %d\n", m.batchInstances.Load())
+	fmt.Fprintf(w, "# HELP busyd_reopt_total Solves by reoptimization cache outcome.\n")
+	fmt.Fprintf(w, "# TYPE busyd_reopt_total counter\n")
+	fmt.Fprintf(w, "busyd_reopt_total{outcome=\"hit\"} %d\n", m.reoptHits.Load())
+	fmt.Fprintf(w, "busyd_reopt_total{outcome=\"repair\"} %d\n", m.reoptRepairs.Load())
+	fmt.Fprintf(w, "busyd_reopt_total{outcome=\"miss\"} %d\n", m.reoptMisses.Load())
 	fmt.Fprintf(w, "# HELP busyd_solve_latency_seconds Single-solve wall clock.\n")
 	fmt.Fprintf(w, "# TYPE busyd_solve_latency_seconds histogram\n")
 	m.solveLatency.writeTo(w, "busyd_solve_latency_seconds", "")
@@ -252,6 +285,9 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP busyd_stream_flush_size Arrivals per stream micro-batch flush.\n")
 	fmt.Fprintf(w, "# TYPE busyd_stream_flush_size histogram\n")
 	m.flushSize.writeTo(w, "busyd_stream_flush_size", "")
+	fmt.Fprintf(w, "# HELP busyd_reopt_transition_jobs Carried-over jobs reassigned per repair.\n")
+	fmt.Fprintf(w, "# TYPE busyd_reopt_transition_jobs histogram\n")
+	m.transitionCost.writeTo(w, "busyd_reopt_transition_jobs", "")
 
 	// Snapshot the per-strategy histogram pointers before rendering:
 	// writing to w can block on a slow scraper, and holding eventMu

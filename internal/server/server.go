@@ -53,6 +53,11 @@ type Config struct {
 	// each flush takes whatever has queued since the last one, so batch
 	// size adapts to the arrival rate with no added latency.
 	StreamBatchWait time.Duration
+	// ReoptCache sizes the default solver's instance-fingerprint cache
+	// for warm-started reoptimization (0 = the default 512 entries,
+	// negative = disabled). Per-batch pinned solvers never cache: their
+	// results must stay a pure function of the pinned algorithm.
+	ReoptCache int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
 	// default: profiling endpoints are opt-in on a serving daemon).
 	EnablePprof bool
@@ -99,9 +104,17 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	defaultOpts := solverOptions(cfg, cfg.Algorithm)
+	if cfg.ReoptCache >= 0 {
+		capacity := cfg.ReoptCache
+		if capacity == 0 {
+			capacity = 512
+		}
+		defaultOpts = append(defaultOpts, busytime.WithReoptimization(capacity))
+	}
 	s := &Server{
 		cfg:           cfg,
-		solver:        busytime.NewSolver(solverOptions(cfg, cfg.Algorithm)...),
+		solver:        busytime.NewSolver(defaultOpts...),
 		pinned:        map[string]*busytime.Solver{},
 		metrics:       newMetrics(),
 		reqlog:        newRequestLog(cfg.RequestLog),
@@ -251,6 +264,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reqlog.log(logEntry{Kind: "solve", Outcome: "ok", DurationNS: time.Since(start).Nanoseconds()})
+	if res.CacheOutcome != "" {
+		s.metrics.observeReopt(res.CacheOutcome, res.Transition)
+		w.Header().Set("X-Busytime-Cache", res.CacheOutcome)
+	}
 	writeJSON(w, http.StatusOK, WireResult(res))
 }
 
@@ -337,6 +354,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[idx] = WireResult(results[k])
 		if results[k].Err != nil {
 			s.metrics.solveErrors.Add(1)
+		} else if results[k].CacheOutcome != "" {
+			s.metrics.observeReopt(results[k].CacheOutcome, results[k].Transition)
 		}
 	}
 	// The batch-level error is ctx's: the client went away or the

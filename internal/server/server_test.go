@@ -156,10 +156,19 @@ func TestServerSolveErrors(t *testing.T) {
 		t.Fatalf("invalid instance: status %d, want 400", resp.StatusCode)
 	}
 
-	// Solver-level rejection (throughput without budget is fine at 0;
-	// negative budget rejected) → 422 with the error inline.
-	resp, body := postJSON(t, ts.URL+"/v1/solve", Request{
+	// Negative budget is now stopped at the wire codec → 400 (the
+	// symmetric sanity cap; see TestWireBudgetCaps).
+	resp, _ = postJSON(t, ts.URL+"/v1/solve", Request{
 		Kind: "max-throughput", Instance: properInstance(6, 8), Budget: -5,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative budget: status %d, want 400", resp.StatusCode)
+	}
+
+	// Solver-level rejection (a BaseID warm start only exists for
+	// min-busy) → 422 with the error inline.
+	resp, body := postJSON(t, ts.URL+"/v1/solve", Request{
+		Kind: "max-throughput", Instance: properInstance(6, 8), BaseID: "r-1-x",
 	})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("solver rejection: status %d, want 422 (%s)", resp.StatusCode, body)
@@ -374,6 +383,104 @@ func TestServerHealthAndMetrics(t *testing.T) {
 		if !strings.Contains(string(text), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestServerReoptCacheCounters drives the three reoptimization outcomes
+// over real HTTP — cold miss, exact-form hit, near-hit repair — and
+// asserts the X-Busytime-Cache header, the wire result fields, and the
+// /metrics counters advancing in step.
+func TestServerReoptCacheCounters(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	in := job.Instance{G: 2}
+	for i := 0; i < 16; i++ {
+		in.Jobs = append(in.Jobs, job.New(i, int64(i*5), int64(i*5+10)))
+	}
+
+	solve := func(req Request, wantCache string) Result {
+		t.Helper()
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Busytime-Cache"); got != wantCache {
+			t.Fatalf("X-Busytime-Cache = %q, want %q", got, wantCache)
+		}
+		var res Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Cache != wantCache {
+			t.Fatalf("result cache = %q, want %q", res.Cache, wantCache)
+		}
+		if !res.Certified {
+			t.Fatalf("%s result not certified: %s", wantCache, res.CertificateError)
+		}
+		return res
+	}
+
+	cold := solve(Request{Instance: &in}, "miss")
+	if cold.ID == "" {
+		t.Fatal("miss carried no result ID")
+	}
+	hit := solve(Request{Instance: &in}, "hit")
+	if hit.ID != cold.ID || hit.Cost != cold.Cost {
+		t.Fatalf("hit (id %q cost %d) does not match cold (id %q cost %d)",
+			hit.ID, hit.Cost, cold.ID, cold.Cost)
+	}
+	// One added job, origin untouched: a near-hit served via repair.
+	mod := in.Clone()
+	mod.Jobs = append(mod.Jobs, job.New(900, 3, 12))
+	rep := solve(Request{Instance: &mod}, "repair")
+	if rep.BaseID != cold.ID {
+		t.Errorf("repair base_id = %q, want %q", rep.BaseID, cold.ID)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`busyd_reopt_total{outcome="hit"} 1`,
+		`busyd_reopt_total{outcome="repair"} 1`,
+		`busyd_reopt_total{outcome="miss"} 1`,
+		"busyd_reopt_transition_jobs_count 1",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServerReoptDisabled: a negative ReoptCache turns the cache off —
+// no header, no wire cache fields.
+func TestServerReoptDisabled(t *testing.T) {
+	ts := newTestServer(t, Config{ReoptCache: -1})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", Request{Instance: properInstance(9, 8)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Busytime-Cache"); got != "" {
+		t.Fatalf("X-Busytime-Cache = %q with cache disabled", got)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "" || res.Cache != "" {
+		t.Fatalf("cache fields set with cache disabled: id=%q cache=%q", res.ID, res.Cache)
 	}
 }
 

@@ -311,8 +311,8 @@ func (s *Server) openStreamSession(open StreamOpen) (*online.Session, *journal.W
 	if open.G < 1 {
 		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: stream capacity g = %d, need g >= 1", open.G)
 	}
-	if open.Budget < 0 {
-		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: stream budget %d, need >= 0", open.Budget)
+	if open.Budget < 0 || open.Budget > maxWireCoord {
+		return nil, nil, "", http.StatusBadRequest, fmt.Errorf("server: stream budget %d outside [0, 2^40]", open.Budget)
 	}
 	var alg registry.Algorithm
 	var err error

@@ -183,6 +183,7 @@ func TestStreamHeaderErrors(t *testing.T) {
 		{"malformed header", http.MethodPost, "{", http.StatusBadRequest},
 		{"zero capacity", http.MethodPost, `{"g":0}`, http.StatusBadRequest},
 		{"negative budget", http.MethodPost, `{"g":2,"budget":-5}`, http.StatusBadRequest},
+		{"budget above the sane cap", http.MethodPost, `{"g":2,"budget":4611686018427387904}`, http.StatusBadRequest},
 		{"unknown strategy", http.MethodPost, `{"g":2,"strategy":"nope"}`, http.StatusBadRequest},
 		{"budget on non-budgeted strategy", http.MethodPost, `{"g":2,"strategy":"online-firstfit","budget":10}`, http.StatusBadRequest},
 		{"budget strategy without budget", http.MethodPost, `{"g":2,"strategy":"online-budget"}`, http.StatusBadRequest},

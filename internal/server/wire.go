@@ -31,6 +31,11 @@ type Request struct {
 	Rect      *RectInstance `json:"rect,omitempty"`
 	Budget    int64         `json:"budget,omitempty"`
 	TimeoutMS int64         `json:"timeout_ms,omitempty"`
+	// BaseID warm-starts the solve from a prior result (Result.ID) when
+	// the server runs with a reoptimization cache; TransitionBudget caps
+	// how many carried-over jobs the repair may reassign (0 = unbudgeted).
+	BaseID           string `json:"base_id,omitempty"`
+	TransitionBudget int    `json:"transition_budget,omitempty"`
 }
 
 // BatchRequest is the wire form of POST /v1/solve/batch. Algorithm
@@ -172,7 +177,19 @@ func (r Request) ToSolverRequest() (busytime.Request, error) {
 	if err != nil {
 		return busytime.Request{}, err
 	}
-	req := busytime.Request{Kind: kind, Budget: r.Budget}
+	// The same sanity cap the instance coordinates get: a budget outside
+	// ±2^40 cannot be legitimate and would feed the admission-control
+	// arithmetic values it is not hardened for.
+	if r.Budget < 0 || r.Budget > maxWireCoord {
+		return busytime.Request{}, fmt.Errorf("server: budget %d outside [0, 2^40]", r.Budget)
+	}
+	if r.TransitionBudget < 0 {
+		return busytime.Request{}, fmt.Errorf("server: transition budget %d, need >= 0", r.TransitionBudget)
+	}
+	req := busytime.Request{
+		Kind: kind, Budget: r.Budget,
+		BaseID: r.BaseID, TransitionBudget: r.TransitionBudget,
+	}
 	if r.TimeoutMS > 0 {
 		req.Timeout = time.Duration(r.TimeoutMS) * time.Millisecond
 	}
@@ -223,6 +240,15 @@ func (r Request) Jobs() int {
 // (or of a single solve, alongside a non-2xx status); a Result with a
 // non-empty Error carries no schedule.
 type Result struct {
+	// ID names this result in the server's reoptimization cache (when
+	// enabled); a later Request.BaseID may reference it. Cache reports
+	// how the result was served ("hit", "repair" or "miss"), BaseID the
+	// incumbent a repair started from, and Transition how many
+	// carried-over jobs the repair reassigned.
+	ID               string  `json:"id,omitempty"`
+	BaseID           string  `json:"base_id,omitempty"`
+	Transition       int     `json:"transition,omitempty"`
+	Cache            string  `json:"cache,omitempty"`
 	Algorithm        string  `json:"algorithm,omitempty"`
 	Kind             string  `json:"kind,omitempty"`
 	Class            string  `json:"class,omitempty"`
@@ -251,6 +277,10 @@ func WireResult(res busytime.Result) Result {
 		out.Error = res.Err.Error()
 		return out
 	}
+	out.ID = res.ID
+	out.BaseID = res.BaseID
+	out.Transition = res.Transition
+	out.Cache = res.CacheOutcome
 	out.Algorithm = res.Algorithm
 	out.Class = res.Class.String()
 	out.Cost = res.Cost

@@ -75,6 +75,29 @@ func TestServerSolveMalformedInputs(t *testing.T) {
 			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]},"rect":{"g":2,"jobs":[{"id":0,"start1":0,"end1":5,"start2":0,"end2":5}]}}`,
 			http.StatusBadRequest, "both",
 		},
+		// The budget sanity cap, symmetric with the coordinate cap: the
+		// solve path used to forward any int64 budget while the stream
+		// path rejected only negatives.
+		{
+			"negative budget",
+			`{"kind":"max-throughput","instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]},"budget":-1}`,
+			http.StatusBadRequest, "budget",
+		},
+		{
+			"budget above the sane cap",
+			`{"kind":"max-throughput","instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]},"budget":4611686018427387904}`,
+			http.StatusBadRequest, "budget",
+		},
+		{
+			"budget overflowing int64",
+			`{"kind":"max-throughput","instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]},"budget":1e300}`,
+			http.StatusBadRequest, "",
+		},
+		{
+			"negative transition budget",
+			`{"instance":{"g":2,"jobs":[{"id":0,"start":0,"end":5}]},"transition_budget":-3}`,
+			http.StatusBadRequest, "transition budget",
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

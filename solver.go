@@ -12,6 +12,7 @@ import (
 	"repro/internal/online"
 	"repro/internal/parallel"
 	"repro/internal/registry"
+	"repro/internal/reopt"
 	"repro/internal/stats"
 )
 
@@ -78,6 +79,17 @@ type Request struct {
 	// so one slow request in a SolveBatch cannot hold its worker beyond
 	// its own budget. Zero means no per-request deadline.
 	Timeout time.Duration
+	// BaseID names a prior Result (its Result.ID) to warm-start from:
+	// the solver keeps the incumbent assignment for jobs shared with the
+	// base and repairs locally around the delta, reporting the
+	// transition cost. Requires WithReoptimization and KindMinBusy. A
+	// base that is unknown (evicted) or incompatible degrades to a
+	// normal solve instead of failing — a client cannot know whether its
+	// base survived cache eviction.
+	BaseID string
+	// TransitionBudget, when positive, caps the number of carried-over
+	// jobs a warm-started repair may reassign. Zero means unbudgeted.
+	TransitionBudget int
 }
 
 // EffectiveKind resolves the problem kind the Solver will dispatch on:
@@ -128,6 +140,21 @@ type Result struct {
 	Budget int64 `json:"budget,omitempty"`
 	// Elapsed is the wall-clock solve time.
 	Elapsed time.Duration `json:"elapsed"`
+	// ID identifies this result in the reoptimization cache; a later
+	// Request.BaseID may reference it for a warm-started delta solve.
+	// Empty when reoptimization is disabled or the schedule was not
+	// cacheable.
+	ID string `json:"id,omitempty"`
+	// BaseID echoes the cached result a repair actually warm-started
+	// from (the requested BaseID, or the nearest cached instance).
+	BaseID string `json:"base_id,omitempty"`
+	// Transition counts the carried-over jobs a warm-started repair
+	// reassigned relative to the base incumbent (zero on hit and miss).
+	Transition int `json:"transition,omitempty"`
+	// CacheOutcome reports how the reoptimization layer served this
+	// request: CacheHit, CacheRepair or CacheMiss. Empty when
+	// reoptimization is disabled or the kind bypasses it.
+	CacheOutcome string `json:"cache,omitempty"`
 	// Err is the per-request failure of a SolveBatch item. Solve reports
 	// errors through its second return value and leaves Err nil; in a
 	// batch, one malformed or timed-out request must not poison its
@@ -135,6 +162,23 @@ type Result struct {
 	// with non-nil Err holds no schedule.
 	Err error `json:"-"`
 }
+
+// Reoptimization cache outcomes reported in Result.CacheOutcome (and on
+// the wire as the X-Busytime-Cache response header).
+const (
+	// CacheHit: the submitted instance matched a cached canonical form
+	// exactly (up to job order, IDs and time translation); the cached
+	// assignment was remapped onto the submitted jobs and re-certified
+	// against them.
+	CacheHit = "hit"
+	// CacheRepair: a cached near-identical instance (small symmetric
+	// difference of job sets, or an explicit BaseID) seeded a local
+	// repair around the delta.
+	CacheRepair = "repair"
+	// CacheMiss: no usable cached base; the instance was solved from
+	// scratch and cached.
+	CacheMiss = "miss"
+)
 
 // Certificate re-derives the quality claims of the Result from the
 // schedule itself and returns the first violation: schedule validity
@@ -226,9 +270,10 @@ func ResultOf(algorithm string, s Schedule) Result {
 // Solver executes Requests. The zero value auto-dispatches like
 // MinBusy/MaxThroughput always have; options pin a named algorithm,
 // set a default budget, enable local-search post-optimization, route
-// small instances to the exact oracle, or solve connected components in
-// parallel. A Solver is immutable after construction and safe for
-// concurrent use.
+// small instances to the exact oracle, solve connected components in
+// parallel, or keep a reoptimization cache of prior solves. A Solver's
+// configuration is immutable after construction and it is safe for
+// concurrent use (the reoptimization cache is internally locked).
 type Solver struct {
 	algorithm      string
 	budget         int64
@@ -236,6 +281,7 @@ type Solver struct {
 	searchRounds   int
 	exactThreshold int
 	parallelism    int
+	reopt          *reopt.Cache
 }
 
 // SolverOption configures a Solver at construction.
@@ -287,6 +333,20 @@ func WithExactThreshold(n int) SolverOption {
 // GOMAXPROCS). The default is 1: fully sequential and deterministic.
 func WithParallelism(workers int) SolverOption {
 	return func(s *Solver) { s.parallelism = workers }
+}
+
+// WithReoptimization keeps an instance-fingerprint cache of up to
+// capacity prior KindMinBusy solves. Submissions whose canonical form
+// (jobs sorted to the paper's J1 ≤ … ≤ Jn order, translated to a zero
+// origin, IDs dropped) matches a cached instance are served from cache;
+// submissions within a small symmetric difference of a cached job set —
+// or naming a prior result via Request.BaseID — warm-start from the
+// cached assignment and repair locally around the delta. Every served
+// schedule is re-certified against the submitted instance, never the
+// cached one. Results gain an ID, the cache outcome, and (on repair)
+// the transition cost.
+func WithReoptimization(capacity int) SolverOption {
+	return func(s *Solver) { s.reopt = reopt.NewCache(capacity) }
 }
 
 // Solve executes one Request. It is context-cancellable: long exact and
@@ -382,6 +442,23 @@ func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	if req.TransitionBudget < 0 {
+		return Result{}, fmt.Errorf("busytime: transition budget %d, need >= 0", req.TransitionBudget)
+	}
+	if kind == KindMinBusy && s.reopt != nil {
+		return s.solveReopt(ctx, req, start)
+	}
+	if req.BaseID != "" {
+		return Result{}, fmt.Errorf("busytime: Request.BaseID needs WithReoptimization and a %s request", KindMinBusy)
+	}
+	return s.solve1D(ctx, req, kind, start)
+}
+
+// solve1D is the cold (cache-free) 1-D solve path: classify once,
+// dispatch on the kind, post-optimize, assemble the Result. The
+// instance is already validated.
+func (s *Solver) solve1D(ctx context.Context, req Request, kind ProblemKind, start time.Time) (Result, error) {
+	in := req.Instance
 	class := igraph.Classify(in.Jobs)
 
 	var (
@@ -457,6 +534,126 @@ func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 	res.RatioVsBound = stats.Ratio(cost, lb)
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// nearLimit is the symmetric-difference threshold under which a cached
+// instance counts as a near-hit worth repairing instead of re-solving:
+// an eighth of the submission, at least 2 (so single-job deltas on tiny
+// instances still qualify).
+func nearLimit(n int) int {
+	if l := n / 8; l > 2 {
+		return l
+	}
+	return 2
+}
+
+// solveReopt is the reoptimization front of the KindMinBusy path:
+// exact canonical hits are served from cache, near-hits and explicit
+// BaseID warm starts route through local repair, and misses fall
+// through to the cold path and are cached. Every served schedule is
+// rebuilt on — and certified against — the submitted instance.
+func (s *Solver) solveReopt(ctx context.Context, req Request, start time.Time) (Result, error) {
+	in := req.Instance
+	canon, perm := reopt.Canonical(in)
+	fp := reopt.FingerprintCanon(in.G, canon, s.algorithm)
+
+	// Explicit warm start from a named prior result. An exact canonical
+	// match is a hit (nothing to repair); otherwise repair from the
+	// named base regardless of delta size — the client asked for it.
+	if req.BaseID != "" {
+		if e, ok := s.reopt.LookupID(req.BaseID); ok {
+			if e.Fingerprint == fp {
+				if res, err := s.serveCacheHit(e, in, perm, start); err == nil {
+					return res, nil
+				}
+			} else if res, ok := s.serveRepair(e, in, canon, perm, fp, req.TransitionBudget, start); ok {
+				return res, nil
+			}
+		}
+	}
+
+	if e, ok := s.reopt.Lookup(fp); ok {
+		if res, err := s.serveCacheHit(e, in, perm, start); err == nil {
+			return res, nil
+		}
+	}
+
+	if e, _, ok := s.reopt.Nearest(in.G, canon, nearLimit(len(in.Jobs))); ok {
+		if res, ok := s.serveRepair(e, in, canon, perm, fp, req.TransitionBudget, start); ok {
+			return res, nil
+		}
+	}
+
+	res, err := s.solve1D(ctx, req, KindMinBusy, start)
+	if err != nil {
+		return res, err
+	}
+	res.CacheOutcome = CacheMiss
+	if asg, aerr := reopt.CanonicalAssignment(res.Schedule, perm); aerr == nil {
+		res.ID = s.reopt.Store(reopt.Entry{
+			Fingerprint: fp, G: in.G, Jobs: canon, Machine: asg,
+			Algorithm: res.Algorithm, Class: res.Class, Cost: res.Cost,
+		})
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// serveCacheHit remaps a cached assignment onto the submitted instance.
+// Cost, bound and certificate are re-derived from the remapped schedule
+// and the submitted jobs — the cache only supplies the assignment.
+func (s *Solver) serveCacheHit(e reopt.Entry, in Instance, perm []int, start time.Time) (Result, error) {
+	sch, err := reopt.RemapAssignment(e, in, perm)
+	if err != nil {
+		return Result{}, err
+	}
+	res := s.assembleMinBusy(sch, in, e.Class, e.Algorithm, start)
+	res.ID = e.ID
+	res.CacheOutcome = CacheHit
+	return res, nil
+}
+
+// serveRepair warm-starts from the entry's incumbent assignment and
+// repairs locally around the delta. The repaired schedule is cached
+// under the submission's own fingerprint, so an identical resubmission
+// upgrades to a hit.
+func (s *Solver) serveRepair(e reopt.Entry, in Instance, canon []reopt.CanonJob, perm []int, fp string, transitionBudget int, start time.Time) (Result, bool) {
+	rep, err := reopt.Repair(e, in, canon, perm, transitionBudget)
+	if err != nil {
+		return Result{}, false
+	}
+	res := s.assembleMinBusy(rep.Schedule, in, igraph.Classify(in.Jobs), "reopt-repair", start)
+	res.BaseID = e.ID
+	res.Transition = rep.Transition
+	res.CacheOutcome = CacheRepair
+	if asg, aerr := reopt.CanonicalAssignment(rep.Schedule, perm); aerr == nil {
+		res.ID = s.reopt.Store(reopt.Entry{
+			Fingerprint: fp, G: in.G, Jobs: canon, Machine: asg,
+			Algorithm: res.Algorithm, Class: res.Class, Cost: res.Cost,
+		})
+	}
+	res.Elapsed = time.Since(start)
+	return res, true
+}
+
+// assembleMinBusy builds a KindMinBusy Result around a total schedule of
+// the submitted instance.
+func (s *Solver) assembleMinBusy(sch Schedule, in Instance, class Class, algorithm string, start time.Time) Result {
+	cost := sch.Cost()
+	lb := in.LowerBound()
+	return Result{
+		Schedule:     sch,
+		Algorithm:    algorithm,
+		Kind:         KindMinBusy,
+		Class:        class,
+		Cost:         cost,
+		Scheduled:    sch.Throughput(),
+		N:            len(in.Jobs),
+		Machines:     sch.Machines(),
+		LowerBound:   lb,
+		RatioVsBound: stats.Ratio(cost, lb),
+		Elapsed:      time.Since(start),
+	}
 }
 
 // solveMinBusy runs a pinned algorithm, the exact oracle below the

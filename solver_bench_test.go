@@ -91,6 +91,68 @@ func BenchmarkSolveSequential(b *testing.B) {
 	}
 }
 
+// reoptBenchDelta builds the single-job delta the reoptimization
+// benchmarks solve: the base with its latest-starting job replaced by an
+// interior job, so the canonical origin — and with it the near-hit
+// detection — is preserved.
+func reoptBenchDelta(base busytime.Instance) busytime.Instance {
+	delta := base.Clone()
+	latest, minStart := 0, delta.Jobs[0].Interval.Start
+	for i, j := range delta.Jobs {
+		if j.Interval.Start > delta.Jobs[latest].Interval.Start {
+			latest = i
+		}
+		if j.Interval.Start < minStart {
+			minStart = j.Interval.Start
+		}
+	}
+	delta.Jobs[latest] = busytime.NewJob(2_000_000, minStart+31, minStart+83)
+	return delta
+}
+
+// BenchmarkReoptimize measures the warm-started delta solve at n=1000: a
+// single-job delta repaired against the cached base via BaseID. CI
+// uploads this next to BenchmarkReoptimizeScratch; the repair must beat
+// the from-scratch solve of the same instance (E18 tracks the same
+// claim across delta sizes). The explicit BaseID keeps every iteration
+// on the repair path — an exact fingerprint lookup would upgrade the
+// second and later iterations to hits and benchmark the wrong thing.
+func BenchmarkReoptimize(b *testing.B) {
+	base := busytime.GenerateGeneral(1, busytime.WorkloadConfig{N: 1000, G: 4, MaxTime: 8000, MaxLen: 120})
+	solver := busytime.NewSolver(busytime.WithReoptimization(8))
+	ctx := context.Background()
+	cold, err := solver.Solve(ctx, busytime.Request{Instance: base})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delta := reoptBenchDelta(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(ctx, busytime.Request{Instance: delta, BaseID: cold.ID})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheOutcome != busytime.CacheRepair {
+			b.Fatalf("outcome = %q, want %q", res.CacheOutcome, busytime.CacheRepair)
+		}
+	}
+}
+
+// BenchmarkReoptimizeScratch is the baseline the repair path must beat:
+// the same single-job-delta instance solved cold every iteration.
+func BenchmarkReoptimizeScratch(b *testing.B) {
+	base := busytime.GenerateGeneral(1, busytime.WorkloadConfig{N: 1000, G: 4, MaxTime: 8000, MaxLen: 120})
+	delta := reoptBenchDelta(base)
+	solver := busytime.NewSolver()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(ctx, busytime.Request{Instance: delta}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolverDispatchSmall isolates the dispatch overhead itself on
 // a tiny instance where the algorithm's own work is negligible.
 func BenchmarkSolverDispatchSmall(b *testing.B) {

@@ -1,0 +1,215 @@
+package busytime_test
+
+import (
+	"context"
+	"testing"
+
+	busytime "repro"
+)
+
+func reoptInstance(seed int64, n int) busytime.Instance {
+	return busytime.GenerateGeneral(seed, busytime.WorkloadConfig{N: n, G: 3, MaxTime: 400, MaxLen: 40})
+}
+
+// TestReoptHitRepairMiss walks the three cache outcomes: a cold solve
+// misses and is cached, a permuted-and-translated resubmission hits, a
+// small delta repairs. Every served Result must carry a certificate
+// valid against the instance actually submitted.
+func TestReoptHitRepairMiss(t *testing.T) {
+	ctx := context.Background()
+	solver := busytime.NewSolver(busytime.WithReoptimization(16))
+
+	in := reoptInstance(1, 40)
+	cold, err := solver.Solve(ctx, busytime.Request{Instance: in})
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	if cold.CacheOutcome != busytime.CacheMiss {
+		t.Fatalf("cold outcome = %q, want %q", cold.CacheOutcome, busytime.CacheMiss)
+	}
+	if cold.ID == "" {
+		t.Fatal("cold solve should assign a result ID")
+	}
+	if err := cold.Certificate(); err != nil {
+		t.Fatalf("cold certificate: %v", err)
+	}
+
+	// Same canonical form, different surface: permuted, translated,
+	// renumbered. Must be a hit with the cached cost, certified against
+	// the resubmission (translated coordinates and all).
+	resub := in.Clone()
+	for i, j := 0, len(resub.Jobs)-1; i < j; i, j = i+1, j-1 {
+		resub.Jobs[i], resub.Jobs[j] = resub.Jobs[j], resub.Jobs[i]
+	}
+	for i := range resub.Jobs {
+		resub.Jobs[i].ID += 5000
+		resub.Jobs[i].Interval = busytime.Interval{
+			Start: resub.Jobs[i].Interval.Start + 777,
+			End:   resub.Jobs[i].Interval.End + 777,
+		}
+	}
+	hit, err := solver.Solve(ctx, busytime.Request{Instance: resub})
+	if err != nil {
+		t.Fatalf("hit solve: %v", err)
+	}
+	if hit.CacheOutcome != busytime.CacheHit {
+		t.Fatalf("resubmission outcome = %q, want %q", hit.CacheOutcome, busytime.CacheHit)
+	}
+	if hit.Cost != cold.Cost {
+		t.Errorf("hit cost %d, want cached %d", hit.Cost, cold.Cost)
+	}
+	if hit.ID != cold.ID {
+		t.Errorf("hit ID %q, want cached %q", hit.ID, cold.ID)
+	}
+	if err := hit.Certificate(); err != nil {
+		t.Fatalf("hit certificate: %v", err)
+	}
+
+	// Small delta: drop one job, add one. Drop the latest-starting job
+	// and insert near the middle so the canonical origin (the min start)
+	// is untouched and the near-hit scan can see the overlap.
+	mod := in.Clone()
+	drop, minStart := 0, mod.Jobs[0].Start()
+	for i, j := range mod.Jobs {
+		if j.Start() > mod.Jobs[drop].Start() {
+			drop = i
+		}
+		if j.Start() < minStart {
+			minStart = j.Start()
+		}
+	}
+	mod.Jobs = append(mod.Jobs[:drop], mod.Jobs[drop+1:]...)
+	mod.Jobs = append(mod.Jobs, busytime.NewJob(901, minStart+30, minStart+75))
+	rep, err := solver.Solve(ctx, busytime.Request{Instance: mod})
+	if err != nil {
+		t.Fatalf("repair solve: %v", err)
+	}
+	if rep.CacheOutcome != busytime.CacheRepair {
+		t.Fatalf("delta outcome = %q, want %q", rep.CacheOutcome, busytime.CacheRepair)
+	}
+	if rep.Algorithm != "reopt-repair" {
+		t.Errorf("repair algorithm = %q, want reopt-repair", rep.Algorithm)
+	}
+	if rep.BaseID != cold.ID {
+		t.Errorf("repair BaseID = %q, want %q", rep.BaseID, cold.ID)
+	}
+	if err := rep.Certificate(); err != nil {
+		t.Fatalf("repair certificate: %v", err)
+	}
+
+	// The repaired result was cached under its own fingerprint, so the
+	// identical resubmission upgrades to a hit.
+	again, err := solver.Solve(ctx, busytime.Request{Instance: mod})
+	if err != nil {
+		t.Fatalf("resolve after repair: %v", err)
+	}
+	if again.CacheOutcome != busytime.CacheHit {
+		t.Errorf("re-submitted repaired instance outcome = %q, want %q", again.CacheOutcome, busytime.CacheHit)
+	}
+}
+
+// TestReoptBaseIDWarmStart: an explicit BaseID warm start repairs from
+// the named incumbent even when the delta exceeds the near-hit window.
+func TestReoptBaseIDWarmStart(t *testing.T) {
+	ctx := context.Background()
+	solver := busytime.NewSolver(busytime.WithReoptimization(16))
+
+	in := reoptInstance(2, 32)
+	cold, err := solver.Solve(ctx, busytime.Request{Instance: in})
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+
+	// Delta of ~1/4 of the jobs — beyond nearLimit, so only the explicit
+	// BaseID routes it through repair.
+	mod := in.Clone()
+	mod.Jobs = mod.Jobs[8:]
+	res, err := solver.Solve(ctx, busytime.Request{Instance: mod, BaseID: cold.ID})
+	if err != nil {
+		t.Fatalf("BaseID solve: %v", err)
+	}
+	if res.CacheOutcome != busytime.CacheRepair {
+		t.Fatalf("BaseID outcome = %q, want %q", res.CacheOutcome, busytime.CacheRepair)
+	}
+	if res.BaseID != cold.ID {
+		t.Errorf("BaseID = %q, want %q", res.BaseID, cold.ID)
+	}
+	if err := res.Certificate(); err != nil {
+		t.Fatalf("certificate: %v", err)
+	}
+
+	// An unknown BaseID degrades gracefully to a normal solve.
+	fresh := reoptInstance(3, 24)
+	res, err = solver.Solve(ctx, busytime.Request{Instance: fresh, BaseID: "r-999-nosuch"})
+	if err != nil {
+		t.Fatalf("unknown BaseID solve: %v", err)
+	}
+	if res.CacheOutcome != busytime.CacheMiss {
+		t.Errorf("unknown BaseID outcome = %q, want %q", res.CacheOutcome, busytime.CacheMiss)
+	}
+}
+
+// TestReoptTransitionBudget pins the budget semantics: negative is an
+// error, a positive budget bounds Transition on the repair path.
+func TestReoptTransitionBudget(t *testing.T) {
+	ctx := context.Background()
+	solver := busytime.NewSolver(busytime.WithReoptimization(16))
+
+	in := reoptInstance(4, 40)
+	if _, err := solver.Solve(ctx, busytime.Request{Instance: in, TransitionBudget: -1}); err == nil {
+		t.Fatal("negative transition budget should be rejected")
+	}
+
+	cold, err := solver.Solve(ctx, busytime.Request{Instance: in})
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	mod := in.Clone()
+	mod.Jobs = append(mod.Jobs, busytime.NewJob(902, 0, 400))
+	res, err := solver.Solve(ctx, busytime.Request{Instance: mod, BaseID: cold.ID, TransitionBudget: 1})
+	if err != nil {
+		t.Fatalf("budgeted solve: %v", err)
+	}
+	if res.CacheOutcome != busytime.CacheRepair {
+		t.Fatalf("outcome = %q, want %q", res.CacheOutcome, busytime.CacheRepair)
+	}
+	if res.Transition > 1 {
+		t.Errorf("transition %d exceeds budget 1", res.Transition)
+	}
+	if err := res.Certificate(); err != nil {
+		t.Fatalf("certificate: %v", err)
+	}
+}
+
+// TestReoptRequiresOptIn: BaseID without WithReoptimization (or on a
+// non-MinBusy kind) is a configuration error, not a silent ignore.
+func TestReoptRequiresOptIn(t *testing.T) {
+	ctx := context.Background()
+	in := reoptInstance(5, 12)
+
+	if _, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: in, BaseID: "r-1-x"}); err == nil {
+		t.Error("BaseID without WithReoptimization should error")
+	}
+
+	solver := busytime.NewSolver(busytime.WithReoptimization(4))
+	_, err := solver.Solve(ctx, busytime.Request{
+		Instance: in, Kind: busytime.KindMaxThroughput, BaseID: "r-1-x",
+	})
+	if err == nil {
+		t.Error("BaseID on a non-MinBusy kind should error")
+	}
+}
+
+// TestReoptDisabledPathUnchanged: without the option the solver ignores
+// the cache machinery entirely — no IDs, no outcomes.
+func TestReoptDisabledPathUnchanged(t *testing.T) {
+	ctx := context.Background()
+	in := reoptInstance(6, 20)
+	res, err := busytime.NewSolver().Solve(ctx, busytime.Request{Instance: in})
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	if res.ID != "" || res.CacheOutcome != "" {
+		t.Errorf("cache fields set without WithReoptimization: ID=%q outcome=%q", res.ID, res.CacheOutcome)
+	}
+}
