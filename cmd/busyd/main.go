@@ -14,10 +14,17 @@
 //	GET  /v1/algorithms   the algorithm registry
 //	GET  /healthz         liveness
 //	GET  /metrics         plain-text counters (Prometheus exposition)
+//	GET  /debug/traces    last served root spans (?min_ms=&algorithm=&limit=)
 //	GET  /debug/pprof     profiling (only with -pprof)
 //
 // Every response carries the Result.Certificate() verdict and the
 // machine assignment, so clients can re-verify schedules locally.
+//
+// Every served request is traced into a bounded in-memory ring
+// (-trace-ring) and the busyd_solve_phase_seconds histograms; a client
+// that sends a W3C traceparent header additionally gets the span tree
+// echoed in the response body. -slow-solve emits a structured log line
+// with the per-phase breakdown for requests above the threshold.
 //
 // Usage:
 //
@@ -63,6 +70,8 @@ func main() {
 		streamWait   = flag.Duration("stream-batch-wait", 0, "stream micro-batch flush deadline (0 = greedy, flush whatever queued)")
 		reoptCache   = flag.Int("reopt-cache", 512, "reoptimization cache entries (0 = default 512, negative = disabled)")
 		maxSessions  = flag.Int("max-closed-sessions", 4096, "closed stream sessions retained by the in-memory journal (0 = unbounded; ignored with -journal)")
+		slowSolve    = flag.Duration("slow-solve", 0, "log a structured slow_solve line with a per-phase breakdown for requests at or above this duration (0 = off)")
+		traceRing    = flag.Int("trace-ring", 0, "root spans retained for GET /debug/traces (0 = default 128)")
 		pprofOn      = flag.Bool("pprof", false, "serve /debug/pprof (off by default)")
 		quiet        = flag.Bool("quiet", false, "suppress the per-request JSON log on stderr")
 	)
@@ -80,6 +89,8 @@ func main() {
 		StreamBatch:     *streamBatch,
 		StreamBatchWait: *streamWait,
 		ReoptCache:      *reoptCache,
+		SlowSolve:       *slowSolve,
+		TraceRing:       *traceRing,
 		EnablePprof:     *pprofOn,
 	}
 	if !*quiet {

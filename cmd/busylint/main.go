@@ -1,5 +1,5 @@
 // Command busylint is the repository's invariant checker: a multichecker
-// of five repo-specific analyzers that mechanize the disciplines earlier
+// of six repo-specific analyzers that mechanize the disciplines earlier
 // PRs enforced by hand review.
 //
 //	ctxloop          context-accepting algorithm loops must observe ctx
@@ -8,6 +8,7 @@
 //	                 and a guarantee
 //	detreplay        replay/conformance code stays deterministic
 //	coordarith       int64 coordinate arithmetic goes through safemath
+//	spanend          every trace.Start span is ended on all paths
 //
 // Usage:
 //

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -38,6 +39,7 @@ func runLoadgen(args []string, out io.Writer) error {
 		budget      = fs.Int64("budget", 0, "busy-time budget for max-throughput requests")
 		algo        = fs.String("algo", "", "pin a batch algorithm (default: auto dispatch)")
 		timeoutMS   = fs.Int64("timeout-ms", 0, "per-request solve deadline")
+		traceOn     = fs.Bool("trace", false, "send a traceparent per batch and report the slowest solve's phase breakdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +82,12 @@ func runLoadgen(args []string, out io.Writer) error {
 		uncertified atomic.Int64
 		next        atomic.Int64
 		wg          sync.WaitGroup
+
+		// Under -trace the daemon echoes each request's span tree; the
+		// workers race to keep the slowest one for the closing report.
+		slowMu    sync.Mutex
+		slowTrace *trace.Node
+		slowAlg   string
 	)
 	client := &http.Client{Timeout: 5 * time.Minute}
 	start := time.Now()
@@ -93,7 +101,16 @@ func runLoadgen(args []string, out io.Writer) error {
 					return
 				}
 				t0 := time.Now()
-				resp, err := client.Post(*addr+"/v1/solve/batch", "application/json", bytes.NewReader(bodies[b]))
+				req, err := http.NewRequest(http.MethodPost, *addr+"/v1/solve/batch", bytes.NewReader(bodies[b]))
+				if err != nil {
+					httpErrs.Add(1)
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if *traceOn {
+					req.Header.Set(trace.TraceparentHeader, newTraceparent())
+				}
+				resp, err := client.Do(req)
 				if err != nil {
 					httpErrs.Add(1)
 					continue
@@ -118,6 +135,13 @@ func runLoadgen(args []string, out io.Writer) error {
 						uncertified.Add(1)
 					default:
 						completed.Add(1)
+					}
+					if res.Trace != nil {
+						slowMu.Lock()
+						if slowTrace == nil || res.Trace.DurationNS > slowTrace.DurationNS {
+							slowTrace, slowAlg = res.Trace, res.Algorithm
+						}
+						slowMu.Unlock()
 					}
 				}
 			}
@@ -144,6 +168,10 @@ func runLoadgen(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "batch latency p50=%v p90=%v p99=%v max=%v\n",
 			percentile(done, 0.50), percentile(done, 0.90),
 			percentile(done, 0.99), done[len(done)-1])
+	}
+	if *traceOn && slowTrace != nil {
+		fmt.Fprintf(out, "slowest solve: %.3fms algorithm=%s phases: %s\n",
+			float64(slowTrace.DurationNS)/1e6, slowAlg, phaseBreakdown(slowTrace))
 	}
 	fmt.Fprintf(out, "errors: http=%d solve=%d uncertified=%d\n",
 		httpErrs.Load(), solveErrs.Load(), uncertified.Load())

@@ -14,6 +14,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/journal"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -49,6 +50,7 @@ func runStream(args []string, out io.Writer) error {
 		budget    = fs.Int64("budget", 0, "busy-time budget for admission-control strategies")
 		events    = fs.Bool("events", false, "print every assignment event, not just the close report")
 		verify    = fs.Bool("verify", true, "cross-check the close report and journal chain against an offline replay")
+		traceOn   = fs.Bool("trace", false, "send a traceparent and print the session's stage breakdown from the close report")
 		sessionID = fs.String("session", "", "stable session id (required to resume; default: server-generated)")
 		killAfter = fs.Int("kill-after", -1, "drop the connection once this many events are confirmed (simulated crash)")
 		resumeAt  = fs.Int("resume", -1, "resume the -session stream, replaying journaled events from this seq")
@@ -84,6 +86,9 @@ func runStream(args []string, out io.Writer) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	if *traceOn {
+		req.Header.Set(trace.TraceparentHeader, newTraceparent())
+	}
 	startCh := make(chan int, 1)
 	if !resume {
 		startCh <- 0
@@ -185,6 +190,14 @@ func runStream(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "strategy=%s admitted=%d rejected=%d cost=%d machines=%d peak=%d LB=%d ratio=%.4f chain=%s\n",
 		closeEv.Strategy, closeEv.Admitted, closeEv.Rejected, closeEv.Cost,
 		closeEv.MachinesOpened, closeEv.PeakOpen, closeEv.LowerBound, closeEv.Ratio, closeEv.Chain)
+	if *traceOn && closeEv.Trace != nil {
+		fmt.Fprintf(out, "trace: session %.3fms stages: %s\n",
+			float64(closeEv.Trace.DurationNS)/1e6, phaseBreakdown(closeEv.Trace))
+	}
+	// The echoed trace is serving telemetry riding the close event, not
+	// part of the journaled close report — drop it before the byte-level
+	// comparison with the offline replay.
+	closeEv.Trace = nil
 
 	if !*verify {
 		return nil

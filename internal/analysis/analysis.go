@@ -3,7 +3,7 @@
 // busylint suite needs. The module deliberately has no external
 // dependencies, so the standard x/tools framework cannot be imported;
 // this package mirrors its shape (Analyzer, Pass, Diagnostic, a driver
-// contract) so the five repo-specific analyzers read like any other
+// contract) so the six repo-specific analyzers read like any other
 // go/analysis checker and could be ported onto x/tools verbatim if the
 // dependency ever lands.
 //

@@ -1,0 +1,206 @@
+// Package spanend keeps the tracing subsystem honest about span
+// lifetimes: a *trace.Span that is started but never ended reports a
+// still-running duration forever, skews the phase histograms and leaks
+// an open child into every snapshot of its trace. The bug is easy to
+// write — an early error return between trace.Start and End — and
+// invisible at runtime, because an unended span still renders.
+//
+// The analyzer inspects every trace.Start call in scope and requires
+// the returned span to be ended on all paths. Accepted shapes:
+//
+//	_, sp := trace.Start(ctx, "phase")
+//	defer sp.End()                      // the canonical form
+//
+// or an explicit sp.End() with no return statement between the Start
+// and the first End — the straight-line shape the solver's hot path
+// uses to snapshot the span before the function returns. Flagged:
+// discarding the span (blank identifier or bare call statement),
+// never calling End, and any return that can leave the span running.
+// A site that hands span ownership elsewhere may carry a
+// //lint:ignore busylint/spanend suppression explaining who ends it.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefixes lists the packages whose trace.Start calls are policed:
+// the solver (the repo root) and everything under internal — the serving
+// layer and the reoptimization cache both open spans.
+var ScopePrefixes = []string{"repro"}
+
+// Analyzer is the busylint/spanend analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "requires every span returned by trace.Start to be ended on all paths " +
+		"(defer sp.End(), or End before any return); unended spans corrupt durations and snapshots",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), ScopePrefixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc finds the trace.Start calls directly inside one function
+// body (nested function literals are visited as their own functions by
+// run, so their spans are checked against their own bodies).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // owned by its own checkFunc pass
+		}
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isTraceStart(pass, call) {
+				pass.Reportf(call.Pos(), "the span returned by trace.Start is discarded and can never be ended")
+			}
+		case *ast.AssignStmt:
+			call, ok := startCall(pass, stmt)
+			if !ok {
+				return true
+			}
+			span := spanIdent(stmt)
+			if span == nil {
+				pass.Reportf(call.Pos(), "the span returned by trace.Start is assigned to the blank identifier and can never be ended")
+				return true
+			}
+			checkSpanUse(pass, body, call, span)
+		}
+		return true
+	})
+}
+
+// startCall returns the trace.Start call on the right-hand side of an
+// assignment, if any.
+func startCall(pass *analysis.Pass, stmt *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(stmt.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok || !isTraceStart(pass, call) {
+		return nil, false
+	}
+	return call, true
+}
+
+// spanIdent returns the identifier binding the span (the second result
+// of trace.Start), or nil when it is blank or the shape is unexpected.
+func spanIdent(stmt *ast.AssignStmt) *ast.Ident {
+	if len(stmt.Lhs) != 2 {
+		return nil
+	}
+	id, ok := stmt.Lhs[1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// checkSpanUse enforces the lifetime discipline for one started span:
+// a defer sp.End() anywhere in the function accepts the site outright;
+// otherwise there must be at least one sp.End() call, and no return
+// statement may appear between the Start and the first End.
+func checkSpanUse(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr, span *ast.Ident) {
+	obj := pass.TypesInfo.Defs[span]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[span]
+	}
+	endPos := call.End()
+	firstEnd := body.End()
+	haveEnd := false
+	deferred := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			if isSpanEnd(pass, s.Call, span, obj) {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isSpanEnd(pass, s, span, obj) && s.Pos() > endPos {
+				haveEnd = true
+				if s.Pos() < firstEnd {
+					firstEnd = s.Pos()
+				}
+			}
+		}
+		return true
+	})
+	if deferred {
+		return
+	}
+	if !haveEnd {
+		pass.Reportf(call.Pos(), "span %s is started but never ended; add defer %s.End()", span.Name, span.Name)
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a return inside a closure does not exit this function
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > endPos && ret.Pos() < firstEnd {
+			pass.Reportf(ret.Pos(), "return may leave span %s unended; use defer %s.End() or end it before returning", span.Name, span.Name)
+		}
+		return true
+	})
+}
+
+// isTraceStart reports whether call resolves to the Start function of a
+// package named trace (the fixture stub or repro/internal/trace).
+func isTraceStart(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Start" || fn.Pkg() == nil {
+		return false
+	}
+	return path.Base(fn.Pkg().Path()) == "trace" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isSpanEnd reports whether call is span.End() on the identifier bound
+// by the Start assignment (matched by object identity, not name, so a
+// shadowed variable does not satisfy the original span).
+func isSpanEnd(pass *analysis.Pass, call *ast.CallExpr, span *ast.Ident, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != span.Name {
+		return false
+	}
+	if obj != nil {
+		if used := pass.TypesInfo.Uses[id]; used != nil {
+			return used == obj
+		}
+	}
+	return true
+}

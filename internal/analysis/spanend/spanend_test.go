@@ -1,0 +1,14 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	defer func(scope []string) { spanend.ScopePrefixes = scope }(spanend.ScopePrefixes)
+	spanend.ScopePrefixes = []string{"spanbad", "spanok"}
+	analysistest.Run(t, "testdata", spanend.Analyzer, "spanbad", "spanok")
+}

@@ -1,0 +1,47 @@
+// Package spanbad collects every span-lifetime shape the analyzer must
+// flag: discarded spans, blank bindings, spans never ended, and early
+// returns that can leave a span running.
+package spanbad
+
+import (
+	"context"
+	"errors"
+
+	"trace"
+)
+
+// Discarded starts a span nobody can ever end.
+func Discarded(ctx context.Context) {
+	trace.Start(ctx, "phase") // want `the span returned by trace.Start is discarded`
+}
+
+// Blank binds the span to the blank identifier.
+func Blank(ctx context.Context) {
+	_, _ = trace.Start(ctx, "phase") // want `assigned to the blank identifier`
+}
+
+// NeverEnded keeps the span but forgets End entirely.
+func NeverEnded(ctx context.Context) {
+	_, sp := trace.Start(ctx, "phase") // want `span sp is started but never ended`
+	sp.SetAttr("k", "v")
+}
+
+// EarlyReturn ends the span on the happy path only: the error return
+// leaves it running.
+func EarlyReturn(ctx context.Context, fail bool) error {
+	_, sp := trace.Start(ctx, "phase")
+	if fail {
+		return errors.New("boom") // want `return may leave span sp unended`
+	}
+	sp.End()
+	return nil
+}
+
+// ClosureSpan starts a span inside a function literal and loses it
+// there: closures are checked as functions of their own.
+func ClosureSpan(ctx context.Context) func() {
+	return func() {
+		_, sp := trace.Start(ctx, "phase") // want `span sp is started but never ended`
+		sp.SetAttr("k", "v")
+	}
+}

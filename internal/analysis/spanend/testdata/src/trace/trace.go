@@ -1,0 +1,20 @@
+// Package trace is the fixture stand-in for repro/internal/trace: the
+// analyzer matches the Start function of any package whose import path
+// ends in "trace", so the fixtures need only the lifetime surface.
+package trace
+
+import "context"
+
+// Span is the fixture span; only its lifetime methods matter.
+type Span struct{}
+
+// Start mirrors the real signature: a derived context and a span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{}
+}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetAttr records an attribute.
+func (s *Span) SetAttr(key, value string) {}

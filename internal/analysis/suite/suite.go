@@ -10,9 +10,10 @@ import (
 	"repro/internal/analysis/detreplay"
 	"repro/internal/analysis/nopanic"
 	"repro/internal/analysis/registryhygiene"
+	"repro/internal/analysis/spanend"
 )
 
-// All returns the five busylint analyzers.
+// All returns the six busylint analyzers.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxloop.Analyzer,
@@ -20,5 +21,6 @@ func All() []*analysis.Analyzer {
 		registryhygiene.Analyzer,
 		detreplay.Analyzer,
 		coordarith.Analyzer,
+		spanend.Analyzer,
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/online"
 	"repro/internal/registry"
+	"repro/internal/trace"
 )
 
 // ratioSlack absorbs float rounding when comparing an integral cost
@@ -302,17 +303,46 @@ func CheckInstance(ctx context.Context, alg registry.Algorithm, in job.Instance)
 	}
 }
 
-// solve runs the pinned algorithm through the public Solver entry point.
+// solve runs the pinned algorithm through the public Solver entry point
+// on a trace-enabled context, so every conformance solve also exercises
+// the span subsystem: the tree must exist and its durations must nest.
 func solve(ctx context.Context, alg registry.Algorithm, req busytime.Request) (busytime.Result, error) {
 	solver := busytime.NewSolver(busytime.WithAlgorithm(alg.Name))
-	res, err := solver.Solve(ctx, req)
+	res, err := solver.Solve(trace.Enable(ctx), req)
 	if err != nil {
 		if ctx.Err() != nil {
 			return busytime.Result{}, ctx.Err()
 		}
 		return busytime.Result{}, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
+	if res.Trace == nil {
+		return busytime.Result{}, violationf("trace", "traced solve returned no span tree")
+	}
+	if verr := checkSpanSums(res.Trace); verr != nil {
+		return busytime.Result{}, verr
+	}
 	return res, nil
+}
+
+// checkSpanSums enforces the span-duration invariant recursively: a
+// span's sequential children cannot account for more time than the span
+// itself. Synthesized aggregate nodes (sums over overlapping intervals)
+// are exempt by construction and carry the aggregate attribute.
+func checkSpanSums(n *trace.Node) error {
+	var sum int64
+	for _, c := range n.Children {
+		if c.Attr("aggregate") == "true" {
+			continue
+		}
+		if err := checkSpanSums(c); err != nil {
+			return err
+		}
+		sum += c.DurationNS
+	}
+	if sum > n.DurationNS {
+		return violationf("trace", "span %s: children sum %dns exceeds the span's own %dns", n.Name, sum, n.DurationNS)
+	}
+	return nil
 }
 
 // rejectionOrViolation classifies a primary-solve failure: an algorithm

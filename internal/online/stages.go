@@ -1,0 +1,32 @@
+package online
+
+import "repro/internal/safemath"
+
+// StageStats accumulates the serving-stage telemetry of one streamed
+// session: the total nanoseconds its confirmed arrivals spent queued
+// before a micro-batch flush, inside the flush (journal append + fsync
+// amortized over the batch), and in the strategy's own placement. The
+// server's batcher hook observes each arrival as its flush completes;
+// the session's close-report trace renders the totals as one aggregate
+// span per stage.
+//
+// StageStats is single-writer by the same contract as Session: the
+// batcher worker owns it while the stream is live, and the handler
+// reads it only after the worker has exited.
+type StageStats struct {
+	// Arrivals counts the observed (confirmed, non-error) arrivals.
+	Arrivals int
+	// QueueNS, FlushNS and SolveNS are per-stage totals, saturating at
+	// int64 max rather than wrapping on a pathological session.
+	QueueNS int64
+	FlushNS int64
+	SolveNS int64
+}
+
+// Observe accumulates one arrival's stage timings.
+func (st *StageStats) Observe(queueNS, flushNS, solveNS int64) {
+	st.Arrivals++
+	st.QueueNS = safemath.SatAdd(st.QueueNS, queueNS)
+	st.FlushNS = safemath.SatAdd(st.FlushNS, flushNS)
+	st.SolveNS = safemath.SatAdd(st.SolveNS, solveNS)
+}

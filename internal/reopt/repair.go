@@ -1,11 +1,13 @@
 package reopt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/job"
+	"repro/internal/trace"
 )
 
 // Repaired is the outcome of a warm-started delta solve.
@@ -33,7 +35,9 @@ type Repaired struct {
 // The returned schedule is always a valid total schedule of in — the
 // repair never trades feasibility for transition cost — so a Result
 // built from it certifies against the submitted instance.
-func Repair(base Entry, in job.Instance, canonJobs []CanonJob, perm []int, maxTransition int) (Repaired, error) {
+func Repair(ctx context.Context, base Entry, in job.Instance, canonJobs []CanonJob, perm []int, maxTransition int) (Repaired, error) {
+	_, sp := trace.Start(ctx, "reopt.repair")
+	defer sp.End()
 	if base.G != in.G {
 		return Repaired{}, fmt.Errorf("reopt: base capacity g = %d, submitted g = %d", base.G, in.G)
 	}

@@ -1,6 +1,7 @@
 package reopt_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -43,7 +44,7 @@ func TestRepairValidAfterDelta(t *testing.T) {
 		job.New(901, 350, 390),
 	)
 	jobs, perm := reopt.Canonical(mod)
-	rep, err := reopt.Repair(e, mod, jobs, perm, 0)
+	rep, err := reopt.Repair(context.Background(), e, mod, jobs, perm, 0)
 	if err != nil {
 		t.Fatalf("Repair: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestRepairIdenticalInstanceZeroTransition(t *testing.T) {
 	base := workload.Proper(33, workload.Config{N: 30, G: 2, MaxTime: 300, MaxLen: 30})
 	e := solvedEntry(t, base)
 	jobs, perm := reopt.Canonical(base)
-	rep, err := reopt.Repair(e, base, jobs, perm, 0)
+	rep, err := reopt.Repair(context.Background(), e, base, jobs, perm, 0)
 	if err != nil {
 		t.Fatalf("Repair: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestRepairTransitionBudget(t *testing.T) {
 	jobs, perm := reopt.Canonical(mod)
 
 	for _, budget := range []int{1, 2, len(mod.Jobs)} {
-		rep, err := reopt.Repair(e, mod, jobs, perm, budget)
+		rep, err := reopt.Repair(context.Background(), e, mod, jobs, perm, budget)
 		if err != nil {
 			t.Fatalf("Repair(budget=%d): %v", budget, err)
 		}
@@ -103,7 +104,7 @@ func TestRepairRejectsCapacityMismatch(t *testing.T) {
 	mod := base.Clone()
 	mod.G = 3
 	jobs, perm := reopt.Canonical(mod)
-	if _, err := reopt.Repair(e, mod, jobs, perm, 0); err == nil {
+	if _, err := reopt.Repair(context.Background(), e, mod, jobs, perm, 0); err == nil {
 		t.Fatal("Repair should reject a capacity mismatch")
 	}
 }

@@ -29,6 +29,12 @@ type logEntry struct {
 	DurationNS int64 `json:"duration_ns,omitempty"`
 	// Size is the batch/flush size where one applies.
 	Size int `json:"size,omitempty"`
+	// Algorithm labels solve/batch entries with the served algorithm
+	// ("auto" for an unpinned batch, "error" for a failed solve).
+	Algorithm string `json:"algorithm,omitempty"`
+	// PhaseNS carries the per-phase breakdown on slow_solve entries:
+	// phase span name → total nanoseconds in the request's trace.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
 	// Error carries the failure detail on error outcomes.
 	Error string `json:"error,omitempty"`
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 
 	busytime "repro"
 	"repro/internal/safemath"
+	"repro/internal/trace"
 )
 
 // latencyBounds are the solve-latency histogram bucket upper bounds in
@@ -26,6 +28,14 @@ var latencyBounds = []float64{
 var eventLatencyBounds = []float64{
 	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.1,
+}
+
+// phaseBounds bucket the per-phase solve breakdown, which spans
+// sub-microsecond dispatch/bound spans up to multi-second placements —
+// the union of the solve- and event-latency ranges.
+var phaseBounds = []float64{
+	0.0000001, 0.000001, 0.00001, 0.0001, 0.0005, 0.001, 0.0025,
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
 // batchSizeBounds bucket the number of requests per batch.
@@ -106,6 +116,63 @@ func formatBound(b float64) string {
 	return fmt.Sprintf("%g", b)
 }
 
+// histogramVec is a family of fixed-bucket histograms keyed by a
+// rendered exposition label list (`algorithm="x"`, or
+// `algorithm="x",phase="y"`), grown lazily on first observation so
+// plugin-registered algorithms are covered without a rebuild — the same
+// pattern the per-strategy stream histograms use.
+type histogramVec struct {
+	bounds []float64
+	scale  float64
+	mu     sync.RWMutex
+	m      map[string]*histogram
+}
+
+func newHistogramVec(bounds []float64, scale float64) *histogramVec {
+	return &histogramVec{bounds: bounds, scale: scale, m: map[string]*histogram{}}
+}
+
+func (v *histogramVec) get(labels string) *histogram {
+	v.mu.RLock()
+	h := v.m[labels]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		if h = v.m[labels]; h == nil {
+			h = newHistogram(v.bounds, v.scale)
+			v.m[labels] = h
+		}
+		v.mu.Unlock()
+	}
+	return h
+}
+
+// observe records one value under the family named by labels.
+func (v *histogramVec) observe(labels string, value float64, raw int64) {
+	v.get(labels).observe(value, raw)
+}
+
+// writeTo renders every labeled family in sorted label order. The
+// family pointers are snapshotted before rendering so a slow scraper
+// never holds the growth lock (histograms themselves are atomic and
+// never removed).
+func (v *histogramVec) writeTo(w io.Writer, name string) {
+	type family struct {
+		labels string
+		h      *histogram
+	}
+	v.mu.RLock()
+	families := make([]family, 0, len(v.m))
+	for labels, h := range v.m {
+		families = append(families, family{labels, h})
+	}
+	v.mu.RUnlock()
+	sort.Slice(families, func(i, j int) bool { return families[i].labels < families[j].labels })
+	for _, f := range families {
+		f.h.writeTo(w, name, f.labels)
+	}
+}
+
 // metrics is the daemon's plain-text counter set: request counts per
 // endpoint, admission rejections, per-request error count, the in-flight
 // and open-stream gauges, and latency/batch-size histograms. All fields
@@ -122,18 +189,20 @@ type metrics struct {
 	rejectedTooLarge   atomic.Int64 // 413: instance or batch size cap
 	badRequests        atomic.Int64 // 400: malformed wire input
 	inFlight           atomic.Int64
-	streamsOpen        atomic.Int64 // live /v1/stream sessions
-	streamAssigned     atomic.Int64 // stream arrivals placed on a machine
-	streamRejected     atomic.Int64 // stream arrivals declined by admission control
-	streamErrors       atomic.Int64 // streams aborted by an in-stream error event
-	streamsResumed     atomic.Int64 // sessions continued from their journal
-	requestsJournal    atomic.Int64 // GET /v1/stream/journal
-	batchInstances     atomic.Int64 // total requests across all batches
-	reoptHits          atomic.Int64 // solves served from the fingerprint cache
-	reoptRepairs       atomic.Int64 // solves warm-started and repaired from a near-hit or BaseID
-	reoptMisses        atomic.Int64 // solves that ran cold and seeded the cache
-	solveLatency       *histogram
-	batchLatency       *histogram
+	streamsOpen        atomic.Int64  // live /v1/stream sessions
+	streamAssigned     atomic.Int64  // stream arrivals placed on a machine
+	streamRejected     atomic.Int64  // stream arrivals declined by admission control
+	streamErrors       atomic.Int64  // streams aborted by an in-stream error event
+	streamsResumed     atomic.Int64  // sessions continued from their journal
+	requestsJournal    atomic.Int64  // GET /v1/stream/journal
+	batchInstances     atomic.Int64  // total requests across all batches
+	reoptHits          atomic.Int64  // solves served from the fingerprint cache
+	reoptRepairs       atomic.Int64  // solves warm-started and repaired from a near-hit or BaseID
+	reoptMisses        atomic.Int64  // solves that ran cold and seeded the cache
+	requestsTraces     atomic.Int64  // GET /debug/traces
+	solveLatency       *histogramVec // per algorithm ("error" for failed solves)
+	batchLatency       *histogramVec // per pinned batch algorithm ("auto" unpinned)
+	phaseLatency       *histogramVec // per algorithm and solve phase, from the span tree
 	batchSize          *histogram
 	flushSize          *histogram // arrivals per stream micro-batch flush
 	transitionCost     *histogram // reassigned jobs per repair
@@ -150,8 +219,9 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		solveLatency:   newHistogram(latencyBounds, 1e9),
-		batchLatency:   newHistogram(latencyBounds, 1e9),
+		solveLatency:   newHistogramVec(latencyBounds, 1e9),
+		batchLatency:   newHistogramVec(latencyBounds, 1e9),
+		phaseLatency:   newHistogramVec(phaseBounds, 1e9),
 		batchSize:      newHistogram(batchSizeBounds, 1),
 		flushSize:      newHistogram(flushSizeBounds, 1),
 		transitionCost: newHistogram(transitionBounds, 1),
@@ -160,14 +230,33 @@ func newMetrics() *metrics {
 	}
 }
 
-func (m *metrics) observeSolve(d time.Duration) {
-	m.solveLatency.observe(d.Seconds(), d.Nanoseconds())
+// observeSolve records one single-solve wall clock under its
+// algorithm's family ("error" when the solve failed — failures have a
+// latency profile of their own worth seeing).
+func (m *metrics) observeSolve(algorithm string, d time.Duration) {
+	m.solveLatency.observe(fmt.Sprintf("algorithm=%q", algorithm), d.Seconds(), d.Nanoseconds())
 }
 
-func (m *metrics) observeBatch(d time.Duration, size int) {
-	m.batchLatency.observe(d.Seconds(), d.Nanoseconds())
+// observeBatch records one whole-batch wall clock under the pinned
+// batch algorithm ("auto" when the batch dispatches per request).
+func (m *metrics) observeBatch(algorithm string, d time.Duration, size int) {
+	m.batchLatency.observe(fmt.Sprintf("algorithm=%q", algorithm), d.Seconds(), d.Nanoseconds())
 	m.batchSize.observe(float64(size), int64(size))
 	m.batchInstances.Add(int64(size))
+}
+
+// observePhases feeds one solve's span tree into the
+// busyd_solve_phase_seconds{algorithm,phase} histograms: every
+// non-structural span (dispatch, bound, placement, local-search,
+// reopt.*, certify) is one observation under its phase name.
+func (m *metrics) observePhases(algorithm string, node *trace.Node) {
+	if node == nil {
+		return
+	}
+	for phase, ns := range phaseDurations(node) {
+		m.phaseLatency.observe(fmt.Sprintf("algorithm=%q,phase=%q", algorithm, phase),
+			float64(ns)/1e9, ns)
+	}
 }
 
 // observeStreamEvent records one arrival's handling latency under its
@@ -241,6 +330,7 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"stream_journal\"} %d\n", m.requestsJournal.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"algorithms\"} %d\n", m.requestsAlgorithms.Load())
 	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"healthz\"} %d\n", m.requestsHealth.Load())
+	fmt.Fprintf(w, "busyd_requests_total{endpoint=\"debug_traces\"} %d\n", m.requestsTraces.Load())
 	fmt.Fprintf(w, "# HELP busyd_rejected_total Requests refused by admission control.\n")
 	fmt.Fprintf(w, "# TYPE busyd_rejected_total counter\n")
 	fmt.Fprintf(w, "busyd_rejected_total{reason=\"overload\"} %d\n", m.rejectedOverload.Load())
@@ -273,12 +363,15 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "busyd_reopt_total{outcome=\"hit\"} %d\n", m.reoptHits.Load())
 	fmt.Fprintf(w, "busyd_reopt_total{outcome=\"repair\"} %d\n", m.reoptRepairs.Load())
 	fmt.Fprintf(w, "busyd_reopt_total{outcome=\"miss\"} %d\n", m.reoptMisses.Load())
-	fmt.Fprintf(w, "# HELP busyd_solve_latency_seconds Single-solve wall clock.\n")
+	fmt.Fprintf(w, "# HELP busyd_solve_latency_seconds Single-solve wall clock, by algorithm.\n")
 	fmt.Fprintf(w, "# TYPE busyd_solve_latency_seconds histogram\n")
-	m.solveLatency.writeTo(w, "busyd_solve_latency_seconds", "")
-	fmt.Fprintf(w, "# HELP busyd_batch_latency_seconds Whole-batch wall clock.\n")
+	m.solveLatency.writeTo(w, "busyd_solve_latency_seconds")
+	fmt.Fprintf(w, "# HELP busyd_batch_latency_seconds Whole-batch wall clock, by pinned algorithm.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_latency_seconds histogram\n")
-	m.batchLatency.writeTo(w, "busyd_batch_latency_seconds", "")
+	m.batchLatency.writeTo(w, "busyd_batch_latency_seconds")
+	fmt.Fprintf(w, "# HELP busyd_solve_phase_seconds Solve phase breakdown from the span tree, by algorithm and phase.\n")
+	fmt.Fprintf(w, "# TYPE busyd_solve_phase_seconds histogram\n")
+	m.phaseLatency.writeTo(w, "busyd_solve_phase_seconds")
 	fmt.Fprintf(w, "# HELP busyd_batch_size Requests per batch.\n")
 	fmt.Fprintf(w, "# TYPE busyd_batch_size histogram\n")
 	m.batchSize.writeTo(w, "busyd_batch_size", "")
@@ -332,4 +425,22 @@ func (m *metrics) writeTo(w io.Writer) {
 			}
 		}
 	}
+
+	// Go runtime gauges, snapshotted per render so operators can
+	// correlate solve latency with scheduler load and GC pressure.
+	// ReadMemStats briefly stops the world; once per scrape is cheap.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP busyd_goroutines Live goroutines at render time.\n")
+	fmt.Fprintf(w, "# TYPE busyd_goroutines gauge\n")
+	fmt.Fprintf(w, "busyd_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP busyd_heap_alloc_bytes Heap bytes allocated and still in use.\n")
+	fmt.Fprintf(w, "# TYPE busyd_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "busyd_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP busyd_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE busyd_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "busyd_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "# HELP busyd_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(w, "# TYPE busyd_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "busyd_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // parseExposition splits Prometheus text output into sample lines,
@@ -109,10 +111,16 @@ func TestMetricsHistogramExposition(t *testing.T) {
 		7 * time.Millisecond, 80 * time.Millisecond, 2 * time.Second, time.Minute, // past the last bound
 	}
 	for _, d := range durations {
-		m.observeSolve(d)
-		m.observeBatch(d, 3)
+		m.observeSolve("greedy-tracking", d)
+		m.observeBatch("auto", d, 3)
 	}
-	m.observeBatch(time.Millisecond, 10000) // past the last batch-size bound
+	m.observeSolve("error", time.Millisecond)
+	m.observeBatch("auto", time.Millisecond, 10000) // past the last batch-size bound
+	m.observePhases("greedy-tracking", &trace.Node{Name: "solve", DurationNS: 5e6, Children: []*trace.Node{
+		{Name: "dispatch", DurationNS: 1e6},
+		{Name: "placement", DurationNS: 3e6},
+		{Name: "bound", DurationNS: 5e5},
+	}})
 	for i := 0; i < 5; i++ {
 		m.observeStreamEvent("online-bestfit", time.Duration(i+1)*time.Microsecond)
 		m.observeStreamEvent("online-budget", time.Second)
@@ -122,15 +130,46 @@ func TestMetricsHistogramExposition(t *testing.T) {
 	m.writeTo(&buf)
 	text := buf.String()
 	samples := parseExposition(t, text)
-	checkHistogram(t, samples, "busyd_solve_latency_seconds", "")
-	checkHistogram(t, samples, "busyd_batch_latency_seconds", "")
+	checkHistogram(t, samples, "busyd_solve_latency_seconds", `algorithm="greedy-tracking"`)
+	checkHistogram(t, samples, "busyd_solve_latency_seconds", `algorithm="error"`)
+	checkHistogram(t, samples, "busyd_batch_latency_seconds", `algorithm="auto"`)
 	checkHistogram(t, samples, "busyd_batch_size", "")
+	for _, phase := range []string{"dispatch", "placement", "bound"} {
+		checkHistogram(t, samples, "busyd_solve_phase_seconds", `algorithm="greedy-tracking",phase="`+phase+`"`)
+	}
 	checkHistogram(t, samples, "busyd_stream_event_latency_seconds", `strategy="online-bestfit"`)
 	checkHistogram(t, samples, "busyd_stream_event_latency_seconds", `strategy="online-budget"`)
 	checkHistogramMonotone(t, text)
 
-	if got := samples[`busyd_solve_latency_seconds_count`]; got != float64(len(durations)) {
+	if got := samples[`busyd_solve_latency_seconds_count{algorithm="greedy-tracking"}`]; got != float64(len(durations)) {
 		t.Errorf("solve latency count %g, want %d", got, len(durations))
+	}
+	// The structural "solve" root groups its phases; it must not become a
+	// phase series of its own.
+	for key := range samples {
+		if strings.Contains(key, `phase="solve"`) {
+			t.Errorf("structural span leaked into the phase histograms: %s", key)
+		}
+	}
+}
+
+// TestMetricsRuntimeGauges checks the Go runtime block renders sane
+// values: a live process has goroutines and a heap.
+func TestMetricsRuntimeGauges(t *testing.T) {
+	m := newMetrics()
+	var buf bytes.Buffer
+	m.writeTo(&buf)
+	samples := parseExposition(t, buf.String())
+	if samples["busyd_goroutines"] < 1 {
+		t.Errorf("busyd_goroutines = %g, want >= 1", samples["busyd_goroutines"])
+	}
+	if samples["busyd_heap_alloc_bytes"] <= 0 {
+		t.Errorf("busyd_heap_alloc_bytes = %g, want > 0", samples["busyd_heap_alloc_bytes"])
+	}
+	for _, key := range []string{"busyd_gc_cycles_total", "busyd_gc_pause_seconds_total"} {
+		if v, ok := samples[key]; !ok || v < 0 {
+			t.Errorf("%s = %g (present %v), want present and >= 0", key, v, ok)
+		}
 	}
 }
 
@@ -151,7 +190,7 @@ func TestMetricsHistogramConsistentUnderConcurrency(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					m.observeSolve(time.Duration(i%1000) * time.Microsecond)
+					m.observeSolve("greedy-tracking", time.Duration(i%1000)*time.Microsecond)
 				}
 			}
 		}(w)
@@ -160,8 +199,8 @@ func TestMetricsHistogramConsistentUnderConcurrency(t *testing.T) {
 		var buf bytes.Buffer
 		m.writeTo(&buf)
 		samples := parseExposition(t, buf.String())
-		inf := samples[`busyd_solve_latency_seconds_bucket{le="+Inf"}`]
-		count := samples[`busyd_solve_latency_seconds_count`]
+		inf := samples[`busyd_solve_latency_seconds_bucket{algorithm="greedy-tracking",le="+Inf"}`]
+		count := samples[`busyd_solve_latency_seconds_count{algorithm="greedy-tracking"}`]
 		if inf != count {
 			close(stop)
 			wg.Wait()

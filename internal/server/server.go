@@ -14,6 +14,7 @@ import (
 
 	busytime "repro"
 	"repro/internal/journal"
+	"repro/internal/trace"
 )
 
 // Config wires the daemon's flags to the server. The zero value serves
@@ -64,6 +65,13 @@ type Config struct {
 	// RequestLog receives one JSON line per request and per stream
 	// lifecycle event; nil disables request logging.
 	RequestLog io.Writer
+	// SlowSolve, when positive, emits a structured slow_solve log line
+	// (with the per-phase breakdown from the span tree) for every
+	// solve/batch/stream request at or above the threshold.
+	SlowSolve time.Duration
+	// TraceRing sizes the /debug/traces ring of recent root spans
+	// (default 128).
+	TraceRing int
 }
 
 // Server serves the Solver API over HTTP: POST /v1/solve,
@@ -77,6 +85,7 @@ type Server struct {
 	pinned   map[string]*busytime.Solver // per-batch-algorithm solver cache
 	metrics  *metrics
 	reqlog   *requestLog
+	traces   *traceRing
 
 	// activeStreams guards each journal session against concurrent
 	// serving: one connection per session id at a time.
@@ -95,6 +104,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.StreamBatch <= 0 {
 		cfg.StreamBatch = 128
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 128
 	}
 	if cfg.Journal == nil {
 		cfg.Journal = journal.NewMemStore()
@@ -118,6 +130,7 @@ func New(cfg Config) (*Server, error) {
 		pinned:        map[string]*busytime.Solver{},
 		metrics:       newMetrics(),
 		reqlog:        newRequestLog(cfg.RequestLog),
+		traces:        newTraceRing(cfg.TraceRing),
 		activeStreams: map[string]bool{},
 	}
 	return s, nil
@@ -164,6 +177,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/traces", s.handleTraces)
 	if s.cfg.EnablePprof {
 		// Explicit routes rather than the package's DefaultServeMux
 		// side-effect registration: the daemon's mux must expose pprof
@@ -253,22 +267,44 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Serving is always-on sampling: the request is traced into the
+	// ring and the phase histograms regardless; a client that sent a
+	// valid traceparent additionally gets the span tree echoed on the
+	// wire result.
+	ctx, root, echo := s.startTrace(r, "solve")
+	defer root.End()
 	start := time.Now()
-	res, err := s.solver.Solve(r.Context(), solverReq)
-	s.metrics.observeSolve(time.Since(start))
+	res, err := s.solver.Solve(ctx, solverReq)
 	if err != nil {
+		s.metrics.observeSolve("error", time.Since(start))
 		s.metrics.solveErrors.Add(1)
+		root.SetAttr("error", err.Error())
+		s.finishTrace(root, "solve", "error")
 		s.reqlog.log(logEntry{Kind: "solve", Outcome: "error",
 			DurationNS: time.Since(start).Nanoseconds(), Error: err.Error()})
 		writeJSON(w, http.StatusUnprocessableEntity, Result{Kind: solverReq.Kind.String(), Error: err.Error()})
 		return
 	}
-	s.reqlog.log(logEntry{Kind: "solve", Outcome: "ok", DurationNS: time.Since(start).Nanoseconds()})
+	s.metrics.observeSolve(res.Algorithm, time.Since(start))
+	// Certification happens at the serving layer (WireResult re-derives
+	// the certificate), so its span lives under the request root, beside
+	// the solver's own "solve" subtree.
+	_, csp := trace.Start(ctx, "certify")
+	wres := WireResult(res)
+	csp.End()
+	node := s.finishTrace(root, "solve", res.Algorithm)
+	s.metrics.observePhases(res.Algorithm, node)
+	s.reqlog.log(logEntry{Kind: "solve", Outcome: "ok", Algorithm: res.Algorithm,
+		DurationNS: time.Since(start).Nanoseconds()})
 	if res.CacheOutcome != "" {
 		s.metrics.observeReopt(res.CacheOutcome, res.Transition)
 		w.Header().Set("X-Busytime-Cache", res.CacheOutcome)
 	}
-	writeJSON(w, http.StatusOK, WireResult(res))
+	if echo {
+		wres.Trace = node
+	}
+	w.Header().Set("Traceparent", trace.Traceparent(root.TraceID(), root.SpanID()))
+	writeJSON(w, http.StatusOK, wres)
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -337,9 +373,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			liveIdx = append(liveIdx, i)
 		}
 	}
+	// The batch latency family and the trace ring label the batch by its
+	// pinned algorithm's canonical name; an unpinned batch is "auto".
+	batchAlg := "auto"
+	if batch.Algorithm != "" {
+		if info, err := busytime.LookupAlgorithm(batch.Algorithm); err == nil {
+			batchAlg = info.Name
+		}
+	}
+	ctx, root, echo := s.startTrace(r, "batch")
+	defer root.End()
 	start := time.Now()
-	results, batchErr := solver.SolveBatch(r.Context(), live)
-	s.metrics.observeBatch(time.Since(start), len(batch.Requests))
+	results, batchErr := solver.SolveBatch(ctx, live)
+	s.metrics.observeBatch(batchAlg, time.Since(start), len(batch.Requests))
 
 	// Pre-failed items were already counted by their rejection reason
 	// (too_large / bad_request); only real solve failures count below.
@@ -350,24 +396,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			resp.Results[i].Kind = kinds[i]
 		}
 	}
+	// One certify span covers the whole re-derivation loop: per-item
+	// certification is the dominant serving-side cost of a batch.
+	_, csp := trace.Start(ctx, "certify")
 	for k, idx := range liveIdx {
 		resp.Results[idx] = WireResult(results[k])
 		if results[k].Err != nil {
 			s.metrics.solveErrors.Add(1)
-		} else if results[k].CacheOutcome != "" {
+			continue
+		}
+		if results[k].CacheOutcome != "" {
 			s.metrics.observeReopt(results[k].CacheOutcome, results[k].Transition)
 		}
+		s.metrics.observePhases(results[k].Algorithm, results[k].Trace)
+		if echo {
+			resp.Results[idx].Trace = results[k].Trace
+		}
 	}
+	csp.End()
+	s.finishTrace(root, "batch", batchAlg)
+	w.Header().Set("Traceparent", trace.Traceparent(root.TraceID(), root.SpanID()))
 	// The batch-level error is ctx's: the client went away or the
 	// daemon is draining past its timeout. Per-request errors are
 	// already inline; report the batch as a whole anyway.
 	if batchErr != nil {
-		s.reqlog.log(logEntry{Kind: "batch", Outcome: "error", Size: len(batch.Requests),
+		s.reqlog.log(logEntry{Kind: "batch", Outcome: "error", Size: len(batch.Requests), Algorithm: batchAlg,
 			DurationNS: time.Since(start).Nanoseconds(), Error: batchErr.Error()})
 		writeJSON(w, http.StatusUnprocessableEntity, resp)
 		return
 	}
-	s.reqlog.log(logEntry{Kind: "batch", Outcome: "ok", Size: len(batch.Requests),
+	s.reqlog.log(logEntry{Kind: "batch", Outcome: "ok", Size: len(batch.Requests), Algorithm: batchAlg,
 		DurationNS: time.Since(start).Nanoseconds()})
 	writeJSON(w, http.StatusOK, resp)
 }

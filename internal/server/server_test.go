@@ -376,9 +376,10 @@ func TestServerHealthAndMetrics(t *testing.T) {
 		`busyd_requests_total{endpoint="batch"} 1`,
 		"busyd_batch_instances_total 2",
 		"busyd_in_flight 0",
-		"busyd_solve_latency_seconds_count 1",
-		"busyd_batch_latency_seconds_count 1",
+		`busyd_solve_latency_seconds_count{algorithm=`,
+		`busyd_batch_latency_seconds_count{algorithm="auto"} 1`,
 		"busyd_batch_size_count 1",
+		`busyd_solve_phase_seconds_count{algorithm=`,
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Fatalf("metrics missing %q:\n%s", want, text)

@@ -16,6 +16,7 @@ import (
 	"repro/internal/online"
 	"repro/internal/registry"
 	"repro/internal/safemath"
+	"repro/internal/trace"
 )
 
 // handleStream serves POST /v1/stream: a full-duplex NDJSON session that
@@ -132,6 +133,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reqlog.log(logEntry{Kind: "stream_open", Session: session, Seq: sess.Arrivals(), Outcome: outcome})
 
+	// The session root span opens once the setup paths have committed;
+	// earlier failures are plain HTTP errors and never reach the ring.
+	// The trace context is not threaded into the batcher — per-arrival
+	// stage timings are aggregated by StageStats and grafted onto the
+	// root as synthesized nodes at close.
+	_, root, echo := s.startTrace(r, "stream")
+	defer root.End()
+	root.SetAttr("session", session)
+	root.SetAttr("strategy", alg)
+	stats := &online.StageStats{}
+
 	// HTTP/1.x is half-duplex by default: the server closes the request
 	// body once the handler starts writing. A stream session reads
 	// arrivals and writes events on the same connection, so opt into
@@ -140,6 +152,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	_ = rc.EnableFullDuplex()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Traceparent", trace.Traceparent(root.TraceID(), root.SpanID()))
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	enc.SetEscapeHTML(false)
@@ -174,7 +187,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	// arrivals; this goroutine collects responses in arrival order and
 	// emits them — decode, solve+journal, and emit pipeline across three
 	// goroutines while per-arrival ordering is preserved.
-	b := newBatcher(sess, jw, s.cfg.StreamBatch, s.cfg.StreamBatchWait, s.observeFlush(alg))
+	b := newBatcher(sess, jw, s.cfg.StreamBatch, s.cfg.StreamBatchWait, s.observeFlush(alg, stats))
 	type pending struct {
 		resp    <-chan batchResult
 		err     error // terminal reader-side failure; decode marks decoder errors
@@ -282,19 +295,30 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.reqlog.log(logEntry{Kind: "stream_close", Session: session, Seq: sum.Arrivals,
-		Outcome: "ok", DurationNS: time.Since(sessionStart).Nanoseconds()})
-	emit(WireStreamClose(sum, session, chain))
+		Outcome: "ok", Algorithm: alg, DurationNS: time.Since(sessionStart).Nanoseconds()})
+	node := s.finishTrace(root, "stream", alg, stageNodes(stats)...)
+	ev := WireStreamClose(sum, session, chain)
+	if echo {
+		// The trace rides the close event only for clients that sent a
+		// traceparent: the journaled close report stays byte-identical to
+		// an offline replay, trace or no trace.
+		ev.Trace = node
+	}
+	emit(ev)
 }
 
 // observeFlush is the batcher's metrics hook: per-stage latency per
-// arrival plus the flush-size distribution.
-func (s *Server) observeFlush(alg string) func(size int, results []batchResult) {
+// arrival plus the flush-size distribution, and the session's running
+// stage totals for its close-report trace. The batcher worker is the
+// only goroutine touching stats until the handler has joined it.
+func (s *Server) observeFlush(alg string, stats *online.StageStats) func(size int, results []batchResult) {
 	return func(size int, results []batchResult) {
 		s.metrics.observeFlushSize(size)
 		for i := range results {
 			if results[i].err != nil {
 				continue
 			}
+			stats.Observe(results[i].queueNS, results[i].flushNS, results[i].solveNS)
 			s.metrics.observeStreamStages(alg, results[i].queueNS, results[i].flushNS, results[i].solveNS)
 			s.metrics.observeStreamEvent(alg, time.Duration(results[i].solveNS))
 		}

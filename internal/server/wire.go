@@ -16,6 +16,7 @@ import (
 	"repro/internal/job"
 	"repro/internal/online"
 	"repro/internal/registry"
+	"repro/internal/trace"
 )
 
 // Request is the wire form of one solve call. Kind names the problem
@@ -267,6 +268,11 @@ type Result struct {
 	Certified        bool    `json:"certified"`
 	CertificateError string  `json:"certificate_error,omitempty"`
 	Error            string  `json:"error,omitempty"`
+	// Trace is the request's span tree, echoed only to clients that sent
+	// a traceparent header. WireResult never populates it: the handler
+	// attaches it explicitly, so batch siblings and replayed results stay
+	// byte-identical with or without tracing.
+	Trace *trace.Node `json:"trace,omitempty"`
 }
 
 // WireResult encodes a solver Result, re-deriving the certificate
@@ -415,6 +421,12 @@ type StreamEvent struct {
 	Chain string `json:"chain,omitempty"`
 	// Error-only field.
 	Error string `json:"error,omitempty"`
+	// Trace rides only a close event, only when the client opened the
+	// stream with a traceparent header: the session's root span plus one
+	// aggregate node per serving stage. It is serving telemetry, not part
+	// of the journaled close report — offline replay comparisons must
+	// ignore it.
+	Trace *trace.Node `json:"trace,omitempty"`
 }
 
 // WireStreamEvent encodes one session event. A rejected arrival has no

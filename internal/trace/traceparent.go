@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceparentHeader is the canonical W3C header name (lower-case per
+// the Trace Context spec; net/http canonicalizes on the wire).
+const TraceparentHeader = "traceparent"
+
+// NewTraceID returns a random non-zero 32-hex-digit W3C trace id.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID returns a random non-zero 16-hex-digit W3C span id.
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	for {
+		if _, err := rand.Read(b); err != nil {
+			// crypto/rand never fails on the supported platforms; if it
+			// ever does, a fixed non-zero id keeps tracing functional.
+			for i := range b {
+				b[i] = 0xff
+			}
+		}
+		for _, c := range b {
+			if c != 0 {
+				return hex.EncodeToString(b)
+			}
+		}
+	}
+}
+
+// Traceparent renders a version-00 W3C traceparent header value with
+// the sampled flag set.
+func Traceparent(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+// ParseTraceparent validates a W3C traceparent header value and
+// returns its trace id and parent span id. Per the Trace Context spec
+// it accepts any version except the reserved ff, requires lower-case
+// hex, and rejects all-zero ids.
+func ParseTraceparent(header string) (traceID, parentSpanID string, err error) {
+	parts := strings.Split(strings.TrimSpace(header), "-")
+	if len(parts) < 4 {
+		return "", "", fmt.Errorf("trace: traceparent %q: need version-traceid-spanid-flags", header)
+	}
+	version, traceID, parentSpanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isHex(version, 2) || version == "ff" {
+		return "", "", fmt.Errorf("trace: traceparent version %q invalid", version)
+	}
+	if version == "00" && len(parts) != 4 {
+		return "", "", fmt.Errorf("trace: version-00 traceparent has %d fields, want 4", len(parts))
+	}
+	if !isHex(traceID, 32) || allZero(traceID) {
+		return "", "", fmt.Errorf("trace: trace id %q invalid", traceID)
+	}
+	if !isHex(parentSpanID, 16) || allZero(parentSpanID) {
+		return "", "", fmt.Errorf("trace: parent span id %q invalid", parentSpanID)
+	}
+	if !isHex(flags, 2) {
+		return "", "", fmt.Errorf("trace: trace flags %q invalid", flags)
+	}
+	return traceID, parentSpanID, nil
+}
+
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package busytime
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/reopt"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // ProblemKind is the problem family a Request asks the Solver to solve.
@@ -161,6 +163,10 @@ type Result struct {
 	// siblings, so each Result carries its own error instead. A Result
 	// with non-nil Err holds no schedule.
 	Err error `json:"-"`
+	// Trace is the span tree of this solve — phase names, durations and
+	// attributes — recorded only when the caller's ctx was trace-enabled
+	// (trace.Enable, or any request served by busyd). Nil otherwise.
+	Trace *trace.Node `json:"trace,omitempty"`
 }
 
 // Reoptimization cache outcomes reported in Result.CacheOutcome (and on
@@ -381,6 +387,13 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]Result, erro
 	if len(reqs) == 0 {
 		return results, nil
 	}
+	// The "batch" span parents every per-request "solve" span; workers
+	// append children concurrently (the span is internally locked). Its
+	// children run in parallel, so their durations may sum past the
+	// batch duration — the sum-≤-root invariant holds per solve subtree.
+	ctx, bsp := trace.Start(ctx, "batch")
+	bsp.SetAttr("size", strconv.Itoa(len(reqs)))
+	defer bsp.End()
 	// Batch workers solve sequentially: nesting component parallelism
 	// inside request parallelism would oversubscribe the pool.
 	inner := *s
@@ -422,9 +435,35 @@ func (s *Solver) SolveBatch(ctx context.Context, reqs []Request) ([]Result, erro
 	return results, ctx.Err()
 }
 
-// solveOne is the shared request path behind Solve and SolveBatch: it
-// classifies the instance once and dispatches on the problem kind.
+// solveOne is the shared request path behind Solve and SolveBatch. It
+// opens the per-request "solve" span — a no-op on untraced contexts —
+// dispatches, and attaches the finished span tree to the Result.
 func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
+	ctx, sp := trace.Start(ctx, "solve")
+	res, err := s.dispatch(ctx, req)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		} else {
+			sp.SetAttr("algorithm", res.Algorithm)
+			sp.SetAttr("kind", fmt.Sprint(res.Kind))
+			sp.SetAttr("class", fmt.Sprint(res.Class))
+			sp.SetAttr("n", strconv.Itoa(res.N))
+			if res.CacheOutcome != "" {
+				sp.SetAttr("cache", res.CacheOutcome)
+			}
+		}
+		sp.End()
+		if err == nil {
+			res.Trace = sp.Snapshot()
+		}
+	}
+	return res, err
+}
+
+// dispatch classifies the request once and routes it on the problem
+// kind.
+func (s *Solver) dispatch(ctx context.Context, req Request) (Result, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
@@ -456,18 +495,61 @@ func (s *Solver) solveOne(ctx context.Context, req Request) (Result, error) {
 
 // solve1D is the cold (cache-free) 1-D solve path: classify once,
 // dispatch on the kind, post-optimize, assemble the Result. The
-// instance is already validated.
+// instance is already validated. Each phase runs under its own span:
+// "dispatch" (class detection), "placement" (the algorithm itself),
+// "local-search" (when enabled) and "bound" (Observation 2.1).
 func (s *Solver) solve1D(ctx context.Context, req Request, kind ProblemKind, start time.Time) (Result, error) {
 	in := req.Instance
+	_, dsp := trace.Start(ctx, "dispatch")
 	class := igraph.Classify(in.Jobs)
+	dsp.End()
 
-	var (
-		sch  Schedule
-		name string
-		err  error
-		res  Result
-	)
-	admittedBound := int64(-1) // ≥ 0: online run with rejections, bound over admitted jobs
+	var res Result
+	pctx, psp := trace.Start(ctx, "placement")
+	sch, name, admittedBound, err := s.place(pctx, req, kind, class, &res)
+	if err == nil {
+		psp.SetAttr("algorithm", name)
+	}
+	psp.End()
+	if err != nil {
+		return Result{}, err
+	}
+
+	if s.localSearch && (kind == KindMinBusy || kind == KindMaxThroughput) {
+		_, lsp := trace.Start(ctx, "local-search")
+		sch = localsearch.Improve(sch, s.searchRounds)
+		lsp.End()
+		name += "+local-search"
+	}
+
+	_, bsp := trace.Start(ctx, "bound")
+	cost := sch.Cost()
+	lb := in.LowerBound()
+	bsp.End()
+	if admittedBound >= 0 {
+		lb = admittedBound
+	}
+	res.Schedule = sch
+	res.Algorithm = name
+	res.Kind = kind
+	res.Class = class
+	res.Cost = cost
+	res.Scheduled = sch.Throughput()
+	res.N = len(in.Jobs)
+	res.Machines = sch.Machines()
+	res.LowerBound = lb
+	res.RatioVsBound = stats.Ratio(cost, lb)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// place runs the core placement for one 1-D kind and fills the
+// kind-specific Result statistics in place. The returned admittedBound
+// is ≥ 0 only for online runs with rejections, where the Observation
+// 2.1 bound must cover the admitted arrivals alone.
+func (s *Solver) place(ctx context.Context, req Request, kind ProblemKind, class Class, res *Result) (sch Schedule, name string, admittedBound int64, err error) {
+	in := req.Instance
+	admittedBound = -1
 	switch kind {
 	case KindMinBusy:
 		sch, name, err = s.solveMinBusy(ctx, in, class)
@@ -477,7 +559,7 @@ func (s *Solver) solve1D(ctx context.Context, req Request, kind ProblemKind, sta
 			budget = s.budget
 		}
 		if budget < 0 {
-			return Result{}, fmt.Errorf("busytime: %s request needs a non-negative budget, got %d", kind, budget)
+			return Schedule{}, "", -1, fmt.Errorf("busytime: %s request needs a non-negative budget, got %d", kind, budget)
 		}
 		res.Budget = budget
 		sch, name, err = s.solveThroughput(ctx, in, budget, class)
@@ -506,34 +588,12 @@ func (s *Solver) solve1D(ctx context.Context, req Request, kind ProblemKind, sta
 			admittedBound = onlineRes.Summarize().LowerBound
 		}
 	default:
-		return Result{}, fmt.Errorf("busytime: unsupported problem kind %s", kind)
+		return Schedule{}, "", -1, fmt.Errorf("busytime: unsupported problem kind %s", kind)
 	}
 	if err != nil {
-		return Result{}, err
+		return Schedule{}, "", -1, err
 	}
-
-	if s.localSearch && (kind == KindMinBusy || kind == KindMaxThroughput) {
-		sch = localsearch.Improve(sch, s.searchRounds)
-		name += "+local-search"
-	}
-
-	cost := sch.Cost()
-	lb := in.LowerBound()
-	if admittedBound >= 0 {
-		lb = admittedBound
-	}
-	res.Schedule = sch
-	res.Algorithm = name
-	res.Kind = kind
-	res.Class = class
-	res.Cost = cost
-	res.Scheduled = sch.Throughput()
-	res.N = len(in.Jobs)
-	res.Machines = sch.Machines()
-	res.LowerBound = lb
-	res.RatioVsBound = stats.Ratio(cost, lb)
-	res.Elapsed = time.Since(start)
-	return res, nil
+	return sch, name, admittedBound, nil
 }
 
 // nearLimit is the symmetric-difference threshold under which a cached
@@ -554,8 +614,10 @@ func nearLimit(n int) int {
 // rebuilt on — and certified against — the submitted instance.
 func (s *Solver) solveReopt(ctx context.Context, req Request, start time.Time) (Result, error) {
 	in := req.Instance
+	_, fsp := trace.Start(ctx, "reopt.fingerprint")
 	canon, perm := reopt.Canonical(in)
 	fp := reopt.FingerprintCanon(in.G, canon, s.algorithm)
+	fsp.End()
 
 	// Explicit warm start from a named prior result. An exact canonical
 	// match is a hit (nothing to repair); otherwise repair from the
@@ -566,7 +628,7 @@ func (s *Solver) solveReopt(ctx context.Context, req Request, start time.Time) (
 				if res, err := s.serveCacheHit(e, in, perm, start); err == nil {
 					return res, nil
 				}
-			} else if res, ok := s.serveRepair(e, in, canon, perm, fp, req.TransitionBudget, start); ok {
+			} else if res, ok := s.serveRepair(ctx, e, in, canon, perm, fp, req.TransitionBudget, start); ok {
 				return res, nil
 			}
 		}
@@ -578,8 +640,11 @@ func (s *Solver) solveReopt(ctx context.Context, req Request, start time.Time) (
 		}
 	}
 
-	if e, _, ok := s.reopt.Nearest(in.G, canon, nearLimit(len(in.Jobs))); ok {
-		if res, ok := s.serveRepair(e, in, canon, perm, fp, req.TransitionBudget, start); ok {
+	_, nsp := trace.Start(ctx, "reopt.nearest")
+	e, _, near := s.reopt.Nearest(in.G, canon, nearLimit(len(in.Jobs)))
+	nsp.End()
+	if near {
+		if res, ok := s.serveRepair(ctx, e, in, canon, perm, fp, req.TransitionBudget, start); ok {
 			return res, nil
 		}
 	}
@@ -617,8 +682,8 @@ func (s *Solver) serveCacheHit(e reopt.Entry, in Instance, perm []int, start tim
 // repairs locally around the delta. The repaired schedule is cached
 // under the submission's own fingerprint, so an identical resubmission
 // upgrades to a hit.
-func (s *Solver) serveRepair(e reopt.Entry, in Instance, canon []reopt.CanonJob, perm []int, fp string, transitionBudget int, start time.Time) (Result, bool) {
-	rep, err := reopt.Repair(e, in, canon, perm, transitionBudget)
+func (s *Solver) serveRepair(ctx context.Context, e reopt.Entry, in Instance, canon []reopt.CanonJob, perm []int, fp string, transitionBudget int, start time.Time) (Result, bool) {
+	rep, err := reopt.Repair(ctx, e, in, canon, perm, transitionBudget)
 	if err != nil {
 		return Result{}, false
 	}

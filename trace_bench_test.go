@@ -1,0 +1,54 @@
+package busytime_test
+
+import (
+	"context"
+	"testing"
+
+	busytime "repro"
+	"repro/internal/trace"
+)
+
+// traceBenchInstance is the n=1000 instance the tracing-overhead pair
+// solves — the same shape as the reoptimization benchmarks.
+func traceBenchInstance() busytime.Instance {
+	return busytime.GenerateGeneral(1, busytime.WorkloadConfig{N: 1000, G: 4, MaxTime: 8000, MaxLen: 120})
+}
+
+// BenchmarkSolve is the untraced baseline of the tracing-overhead pair.
+// CI runs it next to BenchmarkSolveTraced and fails the build if the
+// traced path costs more than 5% over this one: the span tree is a
+// handful of allocations per solve, and it must stay that way.
+func BenchmarkSolve(b *testing.B) {
+	in := traceBenchInstance()
+	solver := busytime.NewSolver()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(ctx, busytime.Request{Instance: in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace != nil {
+			b.Fatal("untraced solve recorded a trace")
+		}
+	}
+}
+
+// BenchmarkSolveTraced solves the identical instance on a
+// trace-enabled context — the always-on configuration busyd serves
+// every request with.
+func BenchmarkSolveTraced(b *testing.B) {
+	in := traceBenchInstance()
+	solver := busytime.NewSolver()
+	ctx := trace.Enable(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.Solve(ctx, busytime.Request{Instance: in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace == nil {
+			b.Fatal("traced solve recorded no trace")
+		}
+	}
+}
