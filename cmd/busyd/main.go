@@ -15,7 +15,9 @@
 //	GET  /healthz         liveness
 //	GET  /metrics         plain-text counters (Prometheus exposition)
 //	GET  /debug/traces    last served root spans (?min_ms=&algorithm=&limit=)
-//	GET  /debug/pprof     profiling (only with -pprof)
+//	GET  /debug/pprof     profiling (only with -pprof; mutex and block
+//	                      profiles need -mutex-profile-fraction /
+//	                      -block-profile-rate to be collected at all)
 //
 // Every response carries the Result.Certificate() verdict and the
 // machine assignment, so clients can re-verify schedules locally.
@@ -47,6 +49,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -73,9 +76,21 @@ func main() {
 		slowSolve    = flag.Duration("slow-solve", 0, "log a structured slow_solve line with a per-phase breakdown for requests at or above this duration (0 = off)")
 		traceRing    = flag.Int("trace-ring", 0, "root spans retained for GET /debug/traces (0 = default 128)")
 		pprofOn      = flag.Bool("pprof", false, "serve /debug/pprof (off by default)")
+		mutexFrac    = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 = off)")
+		blockRate    = flag.Int("block-profile-rate", 0, "sample blocking events of >= n ns for /debug/pprof/block (0 = off)")
 		quiet        = flag.Bool("quiet", false, "suppress the per-request JSON log on stderr")
 	)
 	flag.Parse()
+
+	// Contention profiling is opt-in and independent of -pprof mounting
+	// the endpoints: the runtime collects either profile only when its
+	// rate is set, so the serving path pays nothing by default.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	cfg := server.Config{
 		Algorithm:       *algo,
@@ -104,7 +119,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "busyd:", err)
 			os.Exit(1)
 		}
-		defer store.Close()
+		defer func() {
+			// The close error is the last chance to learn a buffered
+			// journal write never reached disk; surface it even though
+			// the process is exiting.
+			if err := store.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "busyd: closing journal:", err)
+			}
+		}()
 		cfg.Journal = store
 	} else {
 		// The in-memory default is retention-capped: a long-lived daemon

@@ -1,5 +1,5 @@
 // Command busylint is the repository's invariant checker: a multichecker
-// of six repo-specific analyzers that mechanize the disciplines earlier
+// of repo-specific analyzers that mechanize the disciplines earlier
 // PRs enforced by hand review.
 //
 //	ctxloop          context-accepting algorithm loops must observe ctx
@@ -9,11 +9,17 @@
 //	detreplay        replay/conformance code stays deterministic
 //	coordarith       int64 coordinate arithmetic goes through safemath
 //	spanend          every trace.Start span is ended on all paths
+//	locksafe         every Lock/RLock released on all paths; one lock
+//	                 acquisition order per package
+//	atomicmix        a field accessed via sync/atomic is never accessed bare
+//	goleak           go statements in serving packages have an escape path
+//	errdrop          no discarded errors on journal/file durability paths
 //
 // Usage:
 //
 //	busylint ./...               # standalone, human-readable
 //	busylint -json ./...         # machine-readable (the CI artifact)
+//	busylint -sarif ./...        # SARIF 2.1.0 (GitHub code scanning)
 //	go vet -vettool=$(which busylint) ./...
 //
 // Suppress a single finding with a reasoned directive on (or right

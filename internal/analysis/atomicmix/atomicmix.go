@@ -1,0 +1,145 @@
+// Package atomicmix enforces all-or-nothing atomicity per field: a
+// struct field that is accessed through the sync/atomic function API
+// anywhere in a package (atomic.AddInt64(&s.n, 1), atomic.LoadPointer,
+// CompareAndSwap...) must never be read or written bare elsewhere in
+// that package. A bare load next to atomic stores is a data race the
+// compiler will happily reorder; it is invisible until -race interleaves
+// the right two goroutines — aimed squarely at counters and published
+// pointers like the trace ring's slots and the metrics gauges. (Fields
+// of the typed atomic.Int64/atomic.Pointer family are immune by
+// construction and not this analyzer's concern.)
+//
+// One sanctioned exception: functions whose name starts with "new" or
+// "New" (constructors). Before the struct is published, plain
+// initialization is idiomatic and race-free. Anything else mixing
+// access modes carries a //lint:ignore busylint/atomicmix waiver
+// arguing why the bare access cannot race (e.g. it is guarded by a
+// mutex that excludes every atomic writer — which usually means the
+// atomics are pointless anyway).
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefixes lists the packages checked (the whole tree). Tests
+// override this to point at fixtures.
+var ScopePrefixes = []string{"repro"}
+
+// Analyzer is the busylint/atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc: "a struct field accessed through sync/atomic anywhere in a package must not be " +
+		"accessed bare elsewhere (constructors excepted); mixed access is a data race",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), ScopePrefixes) {
+		return nil
+	}
+
+	// Pass 1: every field that is the &-operand of a sync/atomic call
+	// anywhere in the package, with one sample site for the report, and
+	// the selector nodes those atomic accesses themselves use (they are
+	// not "bare").
+	atomicFields := map[*types.Var]token.Pos{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(pass, sel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector resolving to one of those fields is
+	// a bare access, unless it sits in a constructor.
+	type finding struct {
+		pos token.Pos
+		fld *types.Var
+	}
+	var findings []finding
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			constructor := strings.HasPrefix(fn.Name.Name, "new") || strings.HasPrefix(fn.Name.Name, "New")
+			if constructor {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				fld := fieldOf(pass, sel)
+				if fld == nil {
+					return true
+				}
+				if _, isAtomic := atomicFields[fld]; isAtomic {
+					findings = append(findings, finding{sel.Pos(), fld})
+				}
+				return true
+			})
+		}
+		// Package-level variable initializers are pre-publication like
+		// constructors, so composite literals there are not inspected.
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		pass.Reportf(f.pos, "field %s is accessed with sync/atomic at %s but bare here; mixed access is a data race",
+			f.fld.Name(), pass.Fset.Position(atomicFields[f.fld]))
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call resolves to a function of package
+// sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldOf resolves a selector to the struct field it names, nil when it
+// is not a field access (method, package qualifier, ...).
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,14 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	defer func(old []string) { atomicmix.ScopePrefixes = old }(atomicmix.ScopePrefixes)
+	atomicmix.ScopePrefixes = []string{"atombad", "atomok"}
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "atombad", "atomok")
+}

@@ -1,0 +1,30 @@
+// Package atombad mixes atomic and bare access to the same field — the
+// data races busylint/atomicmix must flag.
+package atombad
+
+import "sync/atomic"
+
+type C struct {
+	n     int64
+	p     uint32
+	other int64
+}
+
+func (c *C) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *C) Racy() int64 {
+	return c.n // want `field n is accessed with sync/atomic .* but bare here`
+}
+
+func (c *C) RacyWrite() {
+	c.n = 0 // want `field n is accessed with sync/atomic .* but bare here`
+}
+
+func (c *C) Swap() bool { return atomic.CompareAndSwapUint32(&c.p, 0, 1) }
+
+func (c *C) RacyCompound() {
+	c.p++ // want `field p is accessed with sync/atomic .* but bare here`
+}
+
+// Fine never appears in an atomic call; bare access is fine.
+func (c *C) Fine() int64 { return c.other }

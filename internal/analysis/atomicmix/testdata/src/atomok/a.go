@@ -1,0 +1,24 @@
+// Package atomok uses sync/atomic consistently: every post-publication
+// access to an atomic field goes through the atomic API, and the only
+// bare writes sit in the constructor, before the value escapes.
+package atomok
+
+import "sync/atomic"
+
+type C struct {
+	n   int64
+	cfg int
+}
+
+// New initializes bare — the value is unpublished, no reader exists.
+func New(start int64) *C {
+	c := &C{}
+	c.n = start
+	return c
+}
+
+func (c *C) Inc()        { atomic.AddInt64(&c.n, 1) }
+func (c *C) Load() int64 { return atomic.LoadInt64(&c.n) }
+
+// Cfg is a plain field with no atomic history; bare access is fine.
+func (c *C) Cfg() int { return c.cfg }

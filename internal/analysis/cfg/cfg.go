@@ -1,0 +1,435 @@
+// Package cfg builds an intraprocedural control-flow graph over one
+// function body, sized to what the busylint dataflow analyzers need.
+// Like the rest of internal/analysis it is stdlib-only — the module
+// cannot import golang.org/x/tools/go/cfg — but it mirrors that
+// package's shape: a Graph of basic Blocks whose Stmts slices hold the
+// statements (and control expressions, e.g. an if condition) executed
+// in order, with Succs edges for every way control can leave the block.
+//
+// Modeled control flow: if/else, for and range loops, switch and
+// type-switch (fallthrough included), select, labeled statements,
+// break/continue/goto (labeled or not), return, and explicit calls to
+// the panic builtin. Return, panic and falling off the end of the body
+// all edge to the single synthetic Exit block, so "fact at function
+// exit" is one lookup for a forward analysis. Deferred calls are NOT
+// run at Exit by the graph — a DeferStmt appears in its block like any
+// statement, and each analyzer decides what a defer guarantees (e.g.
+// locksafe treats a reached `defer mu.Unlock()` as releasing the lock
+// at every subsequently reached exit).
+//
+// Unmodeled: implicit runtime panics (nil derefs, bounds checks) and
+// calls that never return (log.Fatal, os.Exit); the analyzers built on
+// this graph are repo-invariant checkers, not a verifier.
+package cfg
+
+import "go/ast"
+
+// Block is one basic block: statements executed strictly in order, then
+// a transfer of control to one of Succs.
+type Block struct {
+	// Index is the block's position in Graph.Blocks — stable across
+	// builds of the same body, so analyzers can iterate deterministically.
+	Index int
+	// Stmts holds the block's statements and control expressions
+	// (ast.Stmt or ast.Expr) in execution order. Compound statements are
+	// decomposed into blocks; only their simple parts appear here (an
+	// IfStmt contributes its Cond, a RangeStmt its X, and so on).
+	Stmts []ast.Node
+	// Succs are the possible successors, in source order of the
+	// constructs that created them.
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block, Entry first; some may be unreachable
+	// (code after return). Exit is always the second block.
+	Blocks []*Block
+	// Entry is where control enters the body.
+	Entry *Block
+	// Exit is the synthetic block every return, explicit panic and
+	// fall-off-the-end edges to. It holds no statements.
+	Exit *Block
+}
+
+// New builds the graph of body. A nil body (declaration without a
+// definition) yields a two-block graph with Entry wired to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(g.Exit)
+	b.patchGotos()
+	return g
+}
+
+// builder carries the under-construction graph and the targets the
+// enclosing control constructs expose to break/continue/goto.
+type builder struct {
+	g   *Graph
+	cur *Block
+
+	// breaks and continues stack the innermost targets; labeled entries
+	// carry the label name, unlabeled the empty string.
+	breaks    []target
+	continues []target
+
+	labels map[string]*Block // goto targets, by label
+	gotos  []pendingGoto
+
+	// fallthroughTo is the next case clause's block while building a
+	// switch clause; nil outside a switch and in its last clause.
+	fallthroughTo *Block
+}
+
+type target struct {
+	label string
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur → to (deduplicated; a switch with several empty
+// cases would otherwise wire the join twice).
+func (b *builder) jump(to *Block) {
+	for _, s := range b.cur.Succs {
+		if s == to {
+			return
+		}
+	}
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// startUnreachable parks the builder on a fresh block with no
+// predecessors, for the dead code that may follow a return/branch.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, "")
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s.Assign, s.Body, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.ReturnStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		b.jump(b.g.Exit)
+		b.startUnreachable()
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.ExprStmt:
+		b.cur.Stmts = append(b.cur.Stmts, s)
+		if isPanicCall(s.X) {
+			b.jump(b.g.Exit)
+			b.startUnreachable()
+		}
+
+	default:
+		// Assignments, declarations, sends, defer, go, inc/dec, empty:
+		// straight-line statements.
+		b.cur.Stmts = append(b.cur.Stmts, s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s.Cond)
+	cond := b.cur
+	join := b.newBlock()
+
+	then := b.newBlock()
+	cond.Succs = append(cond.Succs, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	b.jump(join)
+
+	if s.Else != nil {
+		els := b.newBlock()
+		cond.Succs = append(cond.Succs, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.jump(join)
+	} else {
+		cond.Succs = append(cond.Succs, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	body := b.newBlock()
+	done := b.newBlock()
+	// The post statement gets its own block so continue targets it.
+	post := b.newBlock()
+
+	b.jump(head)
+	b.cur = head
+	if s.Cond != nil {
+		b.cur.Stmts = append(b.cur.Stmts, s.Cond)
+		head.Succs = append(head.Succs, body, done)
+	} else {
+		head.Succs = append(head.Succs, body)
+	}
+
+	b.pushLoop(label, done, post)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(post)
+	b.popLoop()
+
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.jump(head)
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.newBlock()
+	body := b.newBlock()
+	done := b.newBlock()
+
+	b.cur.Stmts = append(b.cur.Stmts, s.X)
+	b.jump(head)
+	head.Succs = append(head.Succs, body, done)
+
+	b.pushLoop(label, done, head)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	b.popLoop()
+
+	b.cur = done
+}
+
+// switchStmt covers both expression and type switches; guard is the Tag
+// expression or the type-switch Assign statement.
+func (b *builder) switchStmt(init ast.Stmt, guard ast.Node, body *ast.BlockStmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if guard != nil {
+		b.cur.Stmts = append(b.cur.Stmts, guard)
+	}
+	head := b.cur
+	done := b.newBlock()
+
+	// Pre-create every clause block so fallthrough can target the next.
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		head.Succs = append(head.Succs, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.Succs = append(head.Succs, done)
+	}
+
+	b.breaks = append(b.breaks, target{"", done}, target{label, done})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.cur.Stmts = append(b.cur.Stmts, e)
+		}
+		// Save/restore around the clause body: a switch nested in the
+		// body must not clobber this clause's fallthrough target.
+		saved := b.fallthroughTo
+		b.fallthroughTo = nil
+		if i+1 < len(blocks) {
+			b.fallthroughTo = blocks[i+1]
+		}
+		b.stmtList(cc.Body)
+		b.fallthroughTo = saved
+		b.jump(done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.cur = done
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	done := b.newBlock()
+	b.breaks = append(b.breaks, target{"", done}, target{label, done})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		head.Succs = append(head.Succs, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(done)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.cur = done
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	// Loops and switches consume their own label so break/continue with
+	// the label resolve to the right targets; any other labeled
+	// statement becomes a goto target at a fresh block.
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.defineLabel(s.Label.Name)
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.defineLabel(s.Label.Name)
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.defineLabel(s.Label.Name)
+		b.switchStmt(inner.Init, inner.Tag, inner.Body, s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.defineLabel(s.Label.Name)
+		b.switchStmt(inner.Init, inner.Assign, inner.Body, s.Label.Name)
+	case *ast.SelectStmt:
+		b.defineLabel(s.Label.Name)
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.defineLabel(s.Label.Name)
+		b.stmt(s.Stmt)
+	}
+}
+
+// defineLabel starts a fresh block for the labeled statement and
+// records it as the label's goto target.
+func (b *builder) defineLabel(name string) {
+	blk := b.newBlock()
+	b.jump(blk)
+	b.cur = blk
+	if b.labels == nil {
+		b.labels = map[string]*Block{}
+	}
+	b.labels[name] = blk
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := findTarget(b.breaks, label); t != nil {
+			b.jump(t)
+		}
+	case "continue":
+		if t := findTarget(b.continues, label); t != nil {
+			b.jump(t)
+		}
+	case "goto":
+		b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+	case "fallthrough":
+		if b.fallthroughTo != nil {
+			b.jump(b.fallthroughTo)
+		}
+	}
+	b.startUnreachable()
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, target{"", brk}, target{label, brk})
+	b.continues = append(b.continues, target{"", cont}, target{label, cont})
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.continues = b.continues[:len(b.continues)-2]
+}
+
+// findTarget resolves the innermost matching target: unlabeled branches
+// match the innermost construct, labeled ones the construct that
+// registered the label.
+func findTarget(stack []target, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// patchGotos wires recorded goto statements to their label blocks; a
+// goto to an unknown label (malformed source) is dropped rather than
+// crashing the build — the typechecker already rejected the package.
+func (b *builder) patchGotos() {
+	for _, g := range b.gotos {
+		if to, ok := b.labels[g.label]; ok {
+			g.from.Succs = append(g.from.Succs, to)
+		}
+	}
+}
+
+// isPanicCall reports whether e is a call of the predeclared panic
+// builtin (matched syntactically; the graph has no type information,
+// and shadowing panic is vanishingly rare in this tree — busylint's
+// nopanic analyzer polices panic use separately).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

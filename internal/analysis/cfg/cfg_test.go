@@ -1,0 +1,245 @@
+package cfg_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+)
+
+// build parses src (a file containing one function named f) and returns
+// its graph.
+func build(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return cfg.New(fn.Body)
+		}
+	}
+	t.Fatal("no func f in source")
+	return nil
+}
+
+// reachable returns the set of blocks reachable from the entry.
+func reachable(g *cfg.Graph) map[*cfg.Block]bool {
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block)
+	walk = func(b *cfg.Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// marks collects the mark("...") literals appearing in reachable blocks.
+func marks(g *cfg.Graph) map[string]bool {
+	out := map[string]bool{}
+	for b := range reachable(g) {
+		for _, n := range b.Stmts {
+			ast.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+						out[lit.Value] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func expectMarks(t *testing.T, g *cfg.Graph, want []string, absent []string) {
+	t.Helper()
+	got := marks(g)
+	for _, w := range want {
+		if !got[`"`+w+`"`] {
+			t.Errorf("mark %q not reachable; got %v", w, got)
+		}
+	}
+	for _, a := range absent {
+		if got[`"`+a+`"`] {
+			t.Errorf("mark %q unexpectedly reachable", a)
+		}
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := build(t, `
+func f(c bool) {
+	mark("pre")
+	if c {
+		mark("then")
+	} else {
+		mark("else")
+	}
+	mark("post")
+}`)
+	expectMarks(t, g, []string{"pre", "then", "else", "post"}, nil)
+	if !reachable(g)[g.Exit] {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := build(t, `
+func f() {
+	mark("live")
+	return
+	mark("dead")
+}`)
+	expectMarks(t, g, []string{"live"}, []string{"dead"})
+}
+
+func TestUnreachableAfterPanic(t *testing.T) {
+	g := build(t, `
+func f() {
+	mark("live")
+	panic("boom")
+	mark("dead")
+}`)
+	expectMarks(t, g, []string{"live"}, []string{"dead"})
+	if !reachable(g)[g.Exit] {
+		t.Error("panic must edge to exit")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	g := build(t, `
+func f(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		mark("body")
+		if xs[i] == 0 {
+			continue
+		}
+		if xs[i] == 1 {
+			break
+		}
+		mark("tail")
+	}
+	for range xs {
+		mark("range")
+	}
+	mark("post")
+}`)
+	expectMarks(t, g, []string{"body", "tail", "range", "post"}, nil)
+}
+
+func TestLabeledBreakAndGoto(t *testing.T) {
+	g := build(t, `
+func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for range xs {
+			if x == 0 {
+				break outer
+			}
+			if x == 1 {
+				goto done
+			}
+			mark("inner")
+		}
+	}
+	mark("between")
+done:
+	mark("done")
+}`)
+	expectMarks(t, g, []string{"inner", "between", "done"}, nil)
+}
+
+func TestGotoSkipsStraightLine(t *testing.T) {
+	g := build(t, `
+func f() {
+	goto l
+	mark("dead")
+l:
+	mark("after")
+}`)
+	expectMarks(t, g, []string{"after"}, []string{"dead"})
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := build(t, `
+func f(n int) {
+	switch n {
+	case 0:
+		mark("zero")
+		fallthrough
+	case 1:
+		mark("one")
+	default:
+		mark("other")
+	}
+	mark("post")
+}`)
+	expectMarks(t, g, []string{"zero", "one", "other", "post"}, nil)
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+func f(a, b chan int) {
+	select {
+	case <-a:
+		mark("a")
+	case v := <-b:
+		_ = v
+		mark("b")
+	}
+	mark("post")
+}`)
+	expectMarks(t, g, []string{"a", "b", "post"}, nil)
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := build(t, `
+func f() {
+	for {
+		mark("spin")
+	}
+}`)
+	expectMarks(t, g, []string{"spin"}, nil)
+	if reachable(g)[g.Exit] {
+		t.Error("exit of an infinite loop must be unreachable")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := cfg.New(nil)
+	if !reachable(g)[g.Exit] {
+		t.Error("empty graph must reach exit")
+	}
+}
+
+func TestBlockIndexesAreStable(t *testing.T) {
+	g := build(t, `
+func f(c bool) {
+	if c {
+		return
+	}
+}`)
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Fatalf("block %d has Index %d", i, b.Index)
+		}
+	}
+	if g.Entry != g.Blocks[0] || g.Exit != g.Blocks[1] {
+		t.Error("entry/exit must be blocks 0 and 1")
+	}
+}

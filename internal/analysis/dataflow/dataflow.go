@@ -1,0 +1,81 @@
+// Package dataflow is a forward dataflow engine over internal/analysis/cfg
+// graphs: a generic worklist fixpoint parameterized by the analyzer's
+// fact type. An analyzer supplies the classic ingredients — the fact at
+// function entry, a Join for control-flow merges, a Transfer over one
+// basic block, and fact Equality — and reads back the fact flowing into
+// every block (in particular into Graph.Exit, "what must/may hold when
+// the function returns").
+//
+// Termination is the analyzer's contract: Join must be monotone over a
+// lattice of finite height (for the busylint analyzers, facts are small
+// sets keyed by lock or variable identity, so height is bounded by the
+// number of distinct keys in the function). The engine itself only
+// iterates until no block's input fact changes.
+package dataflow
+
+import "repro/internal/analysis/cfg"
+
+// Problem describes one forward analysis.
+type Problem[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join merges the facts of two predecessors at a merge point. It
+	// must be commutative, associative and monotone.
+	Join func(a, b F) F
+	// Transfer computes the fact after executing one block given the
+	// fact before it. It must not retain or mutate in; returning a
+	// fresh value keeps the fixpoint sound.
+	Transfer func(b *cfg.Block, in F) F
+	// Equal reports whether two facts are equal; it bounds the
+	// iteration.
+	Equal func(a, b F) bool
+}
+
+// Result carries the fixpoint solution: the fact flowing into and out
+// of every reachable block. Unreachable blocks (dead code after a
+// return) have no entry — callers indexing by block must tolerate the
+// zero fact or check presence.
+type Result[F any] struct {
+	In  map[*cfg.Block]F
+	Out map[*cfg.Block]F
+}
+
+// Forward solves the problem over g with a worklist iteration and
+// returns the per-block facts.
+func Forward[F any](g *cfg.Graph, p Problem[F]) Result[F] {
+	in := map[*cfg.Block]F{g.Entry: p.Entry}
+	out := map[*cfg.Block]F{}
+	seenOut := map[*cfg.Block]bool{}
+
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		o := p.Transfer(b, in[b])
+		if seenOut[b] && p.Equal(out[b], o) {
+			continue // nothing new flows out; successors are up to date
+		}
+		out[b] = o
+		seenOut[b] = true
+
+		for _, s := range b.Succs {
+			ni, ok := in[s]
+			if ok {
+				ni = p.Join(ni, o)
+			} else {
+				ni = o
+			}
+			if !ok || !p.Equal(ni, in[s]) {
+				in[s] = ni
+				if !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return Result[F]{In: in, Out: out}
+}

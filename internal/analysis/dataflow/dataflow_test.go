@@ -1,0 +1,203 @@
+package dataflow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/cfg"
+	"repro/internal/analysis/dataflow"
+)
+
+// graph parses src (one function f) and builds its CFG.
+func graph(t *testing.T, src string) *cfg.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == "f" {
+			return cfg.New(fn.Body)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+type set map[string]bool
+
+func (s set) clone() set {
+	c := set{}
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s set) String() string {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func equal(a, b set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer adds every mark("...") literal executed in the block.
+func transfer(b *cfg.Block, in set) set {
+	out := in.clone()
+	for _, n := range b.Stmts {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" && len(call.Args) == 1 {
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+					out[strings.Trim(lit.Value, `"`)] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func union(a, b set) set {
+	u := a.clone()
+	for k := range b {
+		u[k] = true
+	}
+	return u
+}
+
+func intersect(a, b set) set {
+	i := set{}
+	for k := range a {
+		if b[k] {
+			i[k] = true
+		}
+	}
+	return i
+}
+
+// may solves "marks that may have executed" (union join) and returns
+// the fact at exit.
+func may(t *testing.T, src string) set {
+	g := graph(t, src)
+	res := dataflow.Forward(g, dataflow.Problem[set]{
+		Entry:    set{},
+		Join:     union,
+		Transfer: transfer,
+		Equal:    equal,
+	})
+	return res.In[g.Exit]
+}
+
+// must solves "marks that executed on every path" (intersection join).
+func must(t *testing.T, src string) set {
+	g := graph(t, src)
+	res := dataflow.Forward(g, dataflow.Problem[set]{
+		Entry:    set{},
+		Join:     intersect,
+		Transfer: transfer,
+		Equal:    equal,
+	})
+	return res.In[g.Exit]
+}
+
+const branchy = `
+func f(c bool) {
+	mark("always")
+	if c {
+		mark("maybe")
+		return
+	}
+	mark("fallback")
+}`
+
+func TestMayAnalysis(t *testing.T) {
+	got := may(t, branchy)
+	if got.String() != "always,fallback,maybe" {
+		t.Errorf("may-exit = %v", got)
+	}
+}
+
+func TestMustAnalysis(t *testing.T) {
+	got := must(t, branchy)
+	if got.String() != "always" {
+		t.Errorf("must-exit = %v, want only \"always\"", got)
+	}
+}
+
+func TestLoopFixpointTerminates(t *testing.T) {
+	got := may(t, `
+func f(xs []int) {
+	for _, x := range xs {
+		if x > 0 {
+			mark("pos")
+		} else {
+			mark("neg")
+		}
+	}
+}`)
+	if got.String() != "neg,pos" {
+		t.Errorf("loop may-exit = %v", got)
+	}
+}
+
+func TestMustThroughLoopIsEmpty(t *testing.T) {
+	// A loop body may run zero times, so nothing inside it is a must.
+	got := must(t, `
+func f(xs []int) {
+	for range xs {
+		mark("loop")
+	}
+}`)
+	if len(got) != 0 {
+		t.Errorf("must-exit = %v, want empty", got)
+	}
+}
+
+func TestDeadCodeDoesNotFlow(t *testing.T) {
+	got := may(t, `
+func f() {
+	return
+	mark("dead")
+}`)
+	if len(got) != 0 {
+		t.Errorf("may-exit = %v, want empty", got)
+	}
+}
+
+func TestPanicPathReachesExit(t *testing.T) {
+	// The panic path carries its fact to exit: "held" may hold at exit
+	// even though the normal return path cleared nothing here.
+	got := may(t, `
+func f(c bool) {
+	if c {
+		mark("held")
+		panic("boom")
+	}
+}`)
+	if got.String() != "held" {
+		t.Errorf("may-exit = %v, want held", got)
+	}
+}

@@ -153,21 +153,29 @@ func analyzePackage(fset *token.FileSet, imp types.Importer, p *listPackage, ana
 }
 
 // Main is the standalone entry point: it parses busylint's own flags,
-// runs the suite, prints findings (text or the -json Report) and
-// returns the process exit code (0 clean, 1 findings, 2 failure).
+// runs the suite, prints findings (text, the -json Report, or a -sarif
+// log) and returns the process exit code (0 clean, 1 findings, 2
+// failure).
 func Main(args []string, analyzers []*analysis.Analyzer) int {
 	jsonOut := false
+	sarifOut := false
 	var patterns []string
 	for _, a := range args {
 		switch a {
 		case "-json", "--json":
 			jsonOut = true
+		case "-sarif", "--sarif":
+			sarifOut = true
 		case "-h", "-help", "--help":
 			usage(analyzers)
 			return 0
 		default:
 			patterns = append(patterns, a)
 		}
+	}
+	if jsonOut && sarifOut {
+		fmt.Fprintln(os.Stderr, "busylint: -json and -sarif are mutually exclusive")
+		return 2
 	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -177,7 +185,17 @@ func Main(args []string, analyzers []*analysis.Analyzer) int {
 		fmt.Fprintln(os.Stderr, "busylint:", err)
 		return 2
 	}
-	if jsonOut {
+	switch {
+	case sarifOut:
+		base, err := os.Getwd()
+		if err != nil {
+			base = ""
+		}
+		if err := WriteSARIF(os.Stdout, base, findings, analyzers); err != nil {
+			fmt.Fprintln(os.Stderr, "busylint:", err)
+			return 2
+		}
+	case jsonOut:
 		rep := Report{Findings: findings, Counts: map[string]int{}}
 		if rep.Findings == nil {
 			rep.Findings = []Finding{}
@@ -194,7 +212,7 @@ func Main(args []string, analyzers []*analysis.Analyzer) int {
 			fmt.Fprintln(os.Stderr, "busylint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Printf("%s: %s [busylint/%s]\n", f.Position, f.Message, f.Analyzer)
 		}
@@ -206,7 +224,7 @@ func Main(args []string, analyzers []*analysis.Analyzer) int {
 }
 
 func usage(analyzers []*analysis.Analyzer) {
-	fmt.Println("busylint [-json] [packages]")
+	fmt.Println("busylint [-json|-sarif] [packages]")
 	fmt.Println()
 	fmt.Println("busylint is this repository's invariant checker. Analyzers:")
 	fmt.Println()

@@ -1,14 +1,22 @@
 package driver_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis/driver"
 	"repro/internal/analysis/suite"
 )
+
+type Finding = driver.Finding
 
 func TestIsVetInvocation(t *testing.T) {
 	for _, tc := range []struct {
@@ -97,5 +105,176 @@ func TestStandaloneClean(t *testing.T) {
 	}
 	if len(findings) != 0 {
 		t.Fatalf("expected no findings in safemath, got %v", findings)
+	}
+}
+
+// TestDriversExposeSameSuite pins the "one suite, two drivers"
+// invariant three ways: the standalone CLI's usage output names every
+// analyzer in suite.All(); cmd/busylint hands that same suite.All()
+// to both driver.Main and driver.VetMain (checked in its source, so a
+// hand-edited analyzer list cannot drift past CI); and the command's
+// doc comment documents every analyzer by name.
+func TestDriversExposeSameSuite(t *testing.T) {
+	help := captureStdout(t, func() {
+		if code := driver.Main([]string{"-help"}, suite.All()); code != 0 {
+			t.Fatalf("-help exited %d", code)
+		}
+	})
+	for _, a := range suite.All() {
+		if !strings.Contains(help, a.Name) {
+			t.Errorf("usage output does not mention analyzer %q", a.Name)
+		}
+	}
+
+	mainSrc := filepath.Join("..", "..", "..", "cmd", "busylint", "main.go")
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, mainSrc, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing cmd/busylint/main.go: %v", err)
+	}
+
+	calls := map[string]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "driver" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if argSel, ok := arg.(*ast.CallExpr); ok {
+				if s, ok := argSel.Fun.(*ast.SelectorExpr); ok {
+					if p, ok := s.X.(*ast.Ident); ok && p.Name == "suite" && s.Sel.Name == "All" {
+						calls[sel.Sel.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, entry := range []string{"Main", "VetMain"} {
+		if !calls[entry] {
+			t.Errorf("cmd/busylint does not pass suite.All() to driver.%s; the two drivers could enforce different suites", entry)
+		}
+	}
+
+	if file.Doc == nil {
+		t.Fatal("cmd/busylint has no doc comment")
+	}
+	doc := file.Doc.Text()
+	for _, a := range suite.All() {
+		if !strings.Contains(doc, a.Name) {
+			t.Errorf("cmd/busylint doc comment does not list analyzer %q", a.Name)
+		}
+	}
+}
+
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	w.Close()
+	out := <-done
+	os.Stdout = old
+	return out
+}
+
+// TestWriteSARIF checks the -sarif document shape against what GitHub
+// code scanning requires: version 2.1.0, one rule per analyzer, and
+// results with repo-relative URIs and 1-based regions.
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "errdrop", Package: "repro/internal/journal", Position: "/repo/internal/journal/store.go:155:3", Message: "error discarded"},
+		{Analyzer: "goleak", Package: "repro/internal/server", Position: "/repo/internal/server/loop.go:12", Message: "no escape path"},
+	}
+	var buf bytes.Buffer
+	if err := driver.WriteSARIF(&buf, "/repo", findings, suite.All()); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "busylint" {
+		t.Errorf("tool name = %q", run.Tool.Driver.Name)
+	}
+	if got, want := len(run.Tool.Driver.Rules), len(suite.All()); got != want {
+		t.Errorf("got %d rules, want %d", got, want)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "busylint/errdrop" || !ruleIDs[first.RuleID] {
+		t.Errorf("result 0 ruleId = %q, not among declared rules", first.RuleID)
+	}
+	if first.Level != "error" {
+		t.Errorf("result 0 level = %q", first.Level)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/journal/store.go" {
+		t.Errorf("result 0 uri = %q, want repo-relative internal/journal/store.go", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 155 || loc.Region.StartColumn != 3 {
+		t.Errorf("result 0 region = %d:%d, want 155:3", loc.Region.StartLine, loc.Region.StartColumn)
+	}
+	second := run.Results[1].Locations[0].PhysicalLocation
+	if second.Region.StartLine != 12 {
+		t.Errorf("result 1 line = %d, want 12 (file:line position without column)", second.Region.StartLine)
 	}
 }

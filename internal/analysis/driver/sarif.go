@@ -1,0 +1,144 @@
+package driver
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// The -sarif mode emits a minimal SARIF 2.1.0 log: one run, one rule
+// per analyzer, one result per finding. It is the shape GitHub code
+// scanning ingests, so CI can upload busylint findings as PR
+// annotations instead of burying them in a job log.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders findings as a SARIF 2.1.0 log. Artifact URIs are
+// made relative to baseDir (the repository root in CI) so code scanning
+// can map them onto checkout paths.
+func WriteSARIF(w io.Writer, baseDir string, findings []Finding, analyzers []*analysis.Analyzer) error {
+	rules := make([]sarifRule, 0, len(analyzers))
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{
+			ID:               "busylint/" + a.Name,
+			ShortDescription: sarifText{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		file, line, col := splitPosition(f.Position)
+		results = append(results, sarifResult{
+			RuleID:  "busylint/" + f.Analyzer,
+			Level:   "error",
+			Message: sarifText{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relativeURI(baseDir, file)},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "busylint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// splitPosition breaks a "file:line:col" position string apart. SARIF
+// regions are 1-based; a component that fails to parse degrades to
+// line 1 rather than producing an invalid document.
+func splitPosition(pos string) (file string, line, col int) {
+	line, col = 1, 0
+	i := strings.LastIndexByte(pos, ':')
+	if i < 0 {
+		return pos, line, col
+	}
+	j := strings.LastIndexByte(pos[:i], ':')
+	if j < 0 {
+		if n, err := strconv.Atoi(pos[i+1:]); err == nil {
+			return pos[:i], n, 0
+		}
+		return pos, line, col
+	}
+	l, errL := strconv.Atoi(pos[j+1 : i])
+	c, errC := strconv.Atoi(pos[i+1:])
+	if errL != nil || errC != nil {
+		return pos, line, col
+	}
+	return pos[:j], l, c
+}
+
+// relativeURI rewrites an absolute path relative to baseDir with
+// forward slashes, falling back to the path as given.
+func relativeURI(baseDir, file string) string {
+	if baseDir != "" {
+		if rel, err := filepath.Rel(baseDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}

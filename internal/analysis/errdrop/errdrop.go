@@ -1,0 +1,176 @@
+// Package errdrop flags discarded errors on the durability path. The
+// serving layer's contract is "whatever a client saw is replayable
+// after a crash", and that chain is only as strong as its weakest
+// error check: an ignored journal Append/Commit/Sync or a dropped
+// file-close error can acknowledge a placement that was never durable.
+//
+// The analyzer is deliberately narrow — it is not errcheck. In the
+// scoped packages it flags a call that discards its error (a bare
+// expression statement, a `defer`, or a blank-identifier assignment)
+// when the callee is:
+//
+//   - a method named Append, Commit, Sync, StageEvent or Write whose
+//     receiver type is declared in a journal package, or
+//   - Close on a journal-declared receiver or an *os.File, or Sync or
+//     Write on an *os.File.
+//
+// Handling the error is anything that binds it to a non-blank name —
+// what the caller then does with it is code review's problem, not this
+// analyzer's. A site that provably may ignore the error (e.g. closing
+// a read-only descriptor after a failed open) carries a
+// //lint:ignore busylint/errdrop waiver saying why.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefixes lists the packages whose durability calls are policed.
+// Tests override this to point at fixtures.
+var ScopePrefixes = []string{
+	"repro/internal/journal",
+	"repro/internal/server",
+	"repro/cmd/busyd",
+}
+
+// Analyzer is the busylint/errdrop analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "discarded error results on durability paths (journal Append/Commit/Sync/StageEvent, " +
+		"journal or file Close) are findings; an unchecked append can acknowledge a lost write",
+	Run: run,
+}
+
+// durabilityVerbs are flagged on any journal-declared receiver.
+var durabilityVerbs = map[string]bool{
+	"Append":     true,
+	"Commit":     true,
+	"Sync":       true,
+	"StageEvent": true,
+	"Write":      true,
+}
+
+// fileVerbs are flagged on *os.File receivers.
+var fileVerbs = map[string]bool{
+	"Close": true,
+	"Sync":  true,
+	"Write": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), ScopePrefixes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					check(pass, call, "discarded")
+				}
+			case *ast.DeferStmt:
+				check(pass, stmt.Call, "discarded by defer")
+			case *ast.GoStmt:
+				check(pass, stmt.Call, "discarded by go")
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports call if it is a durability call returning an error that
+// the statement shape drops entirely.
+func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	name, ok := durabilityCallee(pass, call)
+	if !ok {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s is %s on a durability path; handle it or waive with the reason the write cannot be lost", name, how)
+}
+
+// checkAssign reports a durability call whose error result lands in the
+// blank identifier ( _ = w.Commit(), rec, _ := ... ).
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := durabilityCallee(pass, call)
+	if !ok {
+		return
+	}
+	// The error is the callee's last result; it maps to the last LHS.
+	last, ok := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(call.Pos(), "error from %s is assigned to _ on a durability path; handle it or waive with the reason the write cannot be lost", name)
+	}
+}
+
+// durabilityCallee reports whether call is a policed durability method
+// whose last result is an error, returning a printable name.
+func durabilityCallee(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !lastResultIsError(sig) {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	name := fn.Name()
+	switch {
+	case receiverInJournal(recv) && (durabilityVerbs[name] || name == "Close"):
+		return types.ExprString(sel.X) + "." + name, true
+	case isOSFile(recv) && fileVerbs[name]:
+		return types.ExprString(sel.X) + "." + name, true
+	}
+	return "", false
+}
+
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	t, ok := res.At(res.Len() - 1).Type().(*types.Named)
+	return ok && t.Obj().Name() == "error" && t.Obj().Pkg() == nil
+}
+
+// receiverInJournal reports whether the receiver's type (or the
+// interface declaring the method) lives in a package named journal.
+func receiverInJournal(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return path.Base(named.Obj().Pkg().Path()) == "journal"
+}
+
+func isOSFile(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "os" && named.Obj().Name() == "File"
+}

@@ -1,0 +1,14 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	defer func(old []string) { errdrop.ScopePrefixes = old }(errdrop.ScopePrefixes)
+	errdrop.ScopePrefixes = []string{"dropbad", "dropok"}
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "dropbad", "dropok")
+}

@@ -1,0 +1,44 @@
+// Package dropbad discards errors on the durability path — every shape
+// busylint/errdrop must flag.
+package dropbad
+
+import (
+	"os"
+
+	"journal"
+)
+
+// DropAppend ignores the append error: the client may be acknowledged
+// for a write that never reached the log.
+func DropAppend(w *journal.Writer, b []byte) {
+	w.Append(b) // want `error from w.Append is discarded on a durability path`
+}
+
+// DropCommitBlank launders the error through the blank identifier.
+func DropCommitBlank(w *journal.Writer) {
+	_ = w.Commit() // want `error from w.Commit is assigned to _ on a durability path`
+}
+
+// DropSyncDefer defers the sync and throws its error away.
+func DropSyncDefer(w *journal.Writer) {
+	defer w.Sync() // want `error from w.Sync is discarded by defer on a durability path`
+}
+
+// DropCloseDefer is the classic: the close error is the last chance to
+// learn a buffered write failed.
+func DropCloseDefer(w *journal.Writer) {
+	defer w.Close() // want `error from w.Close is discarded by defer on a durability path`
+}
+
+// DropStage ignores a staged event.
+func DropStage(w *journal.Writer) {
+	w.StageEvent("place") // want `error from w.StageEvent is discarded on a durability path`
+}
+
+// DropFileClose discards an os.File close after writing to it.
+func DropFileClose(f *os.File, b []byte) {
+	if _, err := f.Write(b); err != nil {
+		return
+	}
+	f.Close() // want `error from f.Close is discarded on a durability path`
+}

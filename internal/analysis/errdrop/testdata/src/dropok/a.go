@@ -1,0 +1,47 @@
+// Package dropok handles durability errors, or discards results the
+// analyzer must not care about. None of these lines are findings.
+package dropok
+
+import (
+	"fmt"
+
+	"journal"
+)
+
+// Checked binds every durability error to a name and acts on it.
+func Checked(w *journal.Writer, b []byte) error {
+	if err := w.Append(b); err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	if err := w.Commit(); err != nil {
+		return fmt.Errorf("commit: %w", err)
+	}
+	return w.Sync()
+}
+
+// DeferredChecked routes the deferred close error into the named
+// return — binding to a non-blank name is handling.
+func DeferredChecked(w *journal.Writer) (err error) {
+	defer func() {
+		if cerr := w.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return w.Commit()
+}
+
+// NonError discards calls that return nothing or a non-error value.
+func NonError(w *journal.Writer) {
+	w.Rotate()
+	_ = w.Len()
+}
+
+// OtherReceiver discards an error from a type outside any journal
+// package; errdrop is not errcheck.
+type flusher struct{}
+
+func (flusher) Flush() error { return nil }
+
+func OtherReceiver(f flusher) {
+	_ = f.Flush()
+}

@@ -1,0 +1,193 @@
+// Package goleak polices goroutine launches in the long-lived serving
+// packages: a `go` statement must have a visible escape path, or the
+// goroutine can outlive its work and pin memory (and its referents)
+// for the daemon's lifetime. Accepted escape signals, checked over the
+// spawned function's body (same-package callees are resolved and
+// inspected transitively):
+//
+//   - it observes a context.Context (ctx.Done()/ctx.Err(), or passes
+//     ctx to a callee);
+//   - it participates in a sync.WaitGroup (the Done that pairs with the
+//     launcher's Add);
+//   - it performs any channel operation — send, receive, close, select,
+//     or ranging over a channel — since a communicating goroutine ends
+//     when its peers hang up.
+//
+// A spawned function the analyzer cannot see into (a cross-package
+// call, a stored function value) is flagged too: the reader cannot
+// audit its lifetime either. A launch whose goroutine intentionally
+// runs forever carries a //lint:ignore busylint/goleak waiver saying
+// who owns it.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// ScopePrefixes lists the packages whose go statements are policed: the
+// serving daemon's long-lived packages. Tests override this to point at
+// fixtures.
+var ScopePrefixes = []string{
+	"repro/internal/server",
+	"repro/internal/journal",
+	"repro/internal/parallel",
+}
+
+// Analyzer is the busylint/goleak analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement in the serving packages needs an escape path — context observation, " +
+		"a WaitGroup, or channel communication — so the goroutine provably ends",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InScope(pass.Pkg.Path(), ScopePrefixes) {
+		return nil
+	}
+	decls := packageFuncs(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !hasEscapePath(pass, gs.Call, decls, map[*ast.FuncDecl]bool{}) {
+				pass.Reportf(gs.Pos(), "goroutine has no visible escape path; observe a context, join a WaitGroup, or communicate on a channel (or waive with the owner's name)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// packageFuncs indexes this package's function and method declarations
+// by their type object, so `go b.run()` can be followed into run.
+func packageFuncs(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pass.TypesInfo.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// hasEscapePath reports whether the spawned call's body shows an escape
+// signal, following same-package callees (visited guards recursion).
+func hasEscapePath(pass *analysis.Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl, visited map[*ast.FuncDecl]bool) bool {
+	// Arguments evaluated at launch: passing a context or channel into
+	// the goroutine counts (the spawned function receives the means to
+	// stop), checked by signal-typed arguments below via bodySignals on
+	// the callee; a FuncLit is the common case.
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return bodySignals(pass, fun.Body, decls, visited)
+	default:
+		obj := calleeObject(pass, call)
+		if obj == nil {
+			return false // cannot see into it; flag
+		}
+		fn, ok := decls[obj]
+		if !ok {
+			return false // cross-package or interface call; flag
+		}
+		if visited[fn] {
+			return false
+		}
+		visited[fn] = true
+		return bodySignals(pass, fn.Body, decls, visited)
+	}
+}
+
+// bodySignals scans one function body for an escape signal, descending
+// into nested literals and same-package callees.
+func bodySignals(pass *analysis.Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, visited map[*ast.FuncDecl]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if pass.TypesInfo.Uses[id] == nil || pass.TypesInfo.Uses[id].Pkg() == nil {
+					found = true // the predeclared close builtin
+					return false
+				}
+			}
+			// Follow same-package callees: the escape path may live one
+			// level down (go s.serve() -> serve selects on ctx.Done()).
+			if obj := calleeObject(pass, n); obj != nil {
+				if fn, ok := decls[obj]; ok && !visited[fn] {
+					visited[fn] = true
+					if bodySignals(pass, fn.Body, decls, visited) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if isContextType(obj.Type()) || isWaitGroup(obj.Type()) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeObject resolves the called function or method to its type
+// object, nil for dynamic calls (function values, interface methods
+// outside the package).
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

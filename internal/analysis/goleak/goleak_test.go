@@ -1,0 +1,14 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	defer func(old []string) { goleak.ScopePrefixes = old }(goleak.ScopePrefixes)
+	goleak.ScopePrefixes = []string{"leakbad", "leakok"}
+	analysistest.Run(t, "testdata", goleak.Analyzer, "leakbad", "leakok")
+}

@@ -1,0 +1,30 @@
+// Package leakbad launches goroutines with no escape path — the leaks
+// busylint/goleak must flag.
+package leakbad
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// LaunchSpin spawns a named function that loops forever with no signal.
+func LaunchSpin() {
+	go spin() // want `no visible escape path`
+}
+
+// LaunchLit spawns a literal that loops forever.
+func LaunchLit() {
+	go func() { // want `no visible escape path`
+		for {
+			work()
+		}
+	}()
+}
+
+// LaunchOpaque spawns a function value the analyzer cannot see into.
+func LaunchOpaque(f func()) {
+	go f() // want `no visible escape path`
+}

@@ -1,0 +1,14 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/locksafe"
+)
+
+func TestLocksafe(t *testing.T) {
+	defer func(old []string) { locksafe.ScopePrefixes = old }(locksafe.ScopePrefixes)
+	locksafe.ScopePrefixes = []string{"lockbad", "lockok"}
+	analysistest.Run(t, "testdata", locksafe.Analyzer, "lockbad", "lockok")
+}

@@ -5,15 +5,21 @@ package suite
 
 import (
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/coordarith"
 	"repro/internal/analysis/ctxloop"
 	"repro/internal/analysis/detreplay"
+	"repro/internal/analysis/errdrop"
+	"repro/internal/analysis/goleak"
+	"repro/internal/analysis/locksafe"
 	"repro/internal/analysis/nopanic"
 	"repro/internal/analysis/registryhygiene"
 	"repro/internal/analysis/spanend"
 )
 
-// All returns the six busylint analyzers.
+// All returns every busylint analyzer, in canonical order. The list is
+// the single source of truth for what the repository enforces; add new
+// analyzers here and nowhere else.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxloop.Analyzer,
@@ -22,5 +28,9 @@ func All() []*analysis.Analyzer {
 		detreplay.Analyzer,
 		coordarith.Analyzer,
 		spanend.Analyzer,
+		locksafe.Analyzer,
+		atomicmix.Analyzer,
+		goleak.Analyzer,
+		errdrop.Analyzer,
 	}
 }

@@ -1,0 +1,48 @@
+package suite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/suite"
+)
+
+// TestSuiteWellFormed pins the hygiene every analyzer must have before
+// the drivers will run it: a unique name (suppression directives and
+// SARIF rule IDs key on it), a doc line (usage and SARIF rule text),
+// and a Run function.
+func TestSuiteWellFormed(t *testing.T) {
+	all := suite.All()
+	if len(all) == 0 {
+		t.Fatal("suite.All() is empty")
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" {
+			t.Error("analyzer with empty name")
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %s has no Run", a.Name)
+		}
+	}
+}
+
+// TestSuiteStable asserts All returns the same list every call, so the
+// standalone driver and the vet driver can never see different suites.
+func TestSuiteStable(t *testing.T) {
+	a, b := suite.All(), suite.All()
+	if len(a) != len(b) {
+		t.Fatalf("suite.All() returned %d then %d analyzers", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("position %d: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+}

@@ -152,6 +152,9 @@ func OpenFileStore(path string) (*FileStore, error) {
 	}
 	st := &FileStore{f: f, sessions: map[string][]Record{}}
 	if err := st.load(); err != nil {
+		// Nothing has been written through this descriptor; the load
+		// error is the one the caller needs.
+		//lint:ignore busylint/errdrop abandoning a read-only replay descriptor after a failed load; no write can be lost
 		f.Close()
 		return nil, err
 	}

@@ -1,0 +1,61 @@
+package registry_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/igraph"
+	"repro/internal/registry"
+)
+
+// TestStressRegistryReads runs every read path concurrently. The
+// interesting surface is ForAll/For's memoized dispatch chains — a
+// double-checked RLock-then-Lock upgrade — which `go test -race` (the
+// CI stress step) checks for torn publication. The test is read-only on
+// purpose: registering here would disturb other tests' view of the
+// global registry (Names counts, round-trip listings).
+func TestStressRegistryReads(t *testing.T) {
+	names := registry.Names(registry.Online)
+	if len(names) == 0 {
+		t.Fatal("no online strategies registered")
+	}
+	kinds := []registry.Kind{registry.MinBusy, registry.MaxThroughput, registry.MinBusy2D, registry.Online}
+	classes := []igraph.Class{igraph.General, igraph.Proper, igraph.Clique}
+
+	const workers = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				kind := kinds[(w+i)%len(kinds)]
+				class := classes[i%len(classes)]
+				if algs := registry.List(); len(algs) == 0 {
+					errc <- errEmpty("List")
+					return
+				}
+				if _, err := registry.LookupKind(registry.Online, names[i%len(names)]); err != nil {
+					errc <- err
+					return
+				}
+				// For can legitimately miss (no algorithm for a kind and
+				// class); the point is the memoization race, not the hit.
+				_, _ = registry.For(kind, class)
+				_ = registry.ForAll(kind, class)
+				_ = registry.Names(kind)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+type errEmpty string
+
+func (e errEmpty) Error() string { return string(e) + " returned no algorithms" }

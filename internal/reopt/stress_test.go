@@ -1,0 +1,79 @@
+package reopt_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/reopt"
+)
+
+// TestStressReoptCache drives the warm-start cache from concurrent
+// writers and readers — Store, Lookup, LookupID and Nearest all contend
+// on the one mutex and mutate LRU order, so this is where `go test
+// -race` (the CI stress step) would surface an unguarded path. The
+// functional invariant checked throughout: Len never exceeds capacity,
+// and a hit always carries its own fingerprint and ID.
+func TestStressReoptCache(t *testing.T) {
+	const (
+		capacity = 32
+		writers  = 4
+		readers  = 4
+		perW     = 800
+	)
+	c := reopt.NewCache(capacity)
+	probe := []reopt.CanonJob{{Start: 0, End: 10, Weight: 1, Demand: 1}}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				fp := fmt.Sprintf("fp-%d-%d", w, i%64) // repeats exercise replace-same-fingerprint
+				id := c.Store(reopt.Entry{
+					Fingerprint: fp,
+					G:           2 + i%3,
+					Jobs:        []reopt.CanonJob{{Start: 0, End: int64(1 + i%50), Weight: 1, Demand: 1}},
+					Machine:     []int{0},
+					Algorithm:   "stress",
+					Cost:        int64(i),
+				})
+				if e, ok := c.LookupID(id); ok && e.Fingerprint != fp {
+					errc <- fmt.Errorf("LookupID(%s) returned fingerprint %s, want %s", id, e.Fingerprint, fp)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if n := c.Len(); n > capacity {
+					errc <- fmt.Errorf("Len() = %d exceeds capacity %d", n, capacity)
+					return
+				}
+				fp := fmt.Sprintf("fp-%d-%d", r%writers, i%64)
+				if e, ok := c.Lookup(fp); ok && e.Fingerprint != fp {
+					errc <- fmt.Errorf("Lookup(%s) returned entry for %s", fp, e.Fingerprint)
+					return
+				}
+				if e, delta, ok := c.Nearest(2, probe, 4); ok && (delta < 0 || e.G != 2) {
+					errc <- fmt.Errorf("Nearest returned g=%d delta=%d", e.G, delta)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("final Len() = %d exceeds capacity %d", n, capacity)
+	}
+}

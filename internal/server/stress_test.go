@@ -1,0 +1,164 @@
+package server
+
+// Stress suites for the serving layer's concurrency surfaces. They are
+// interesting under `go test -race` (the dedicated CI step runs them
+// with a raised -count); without the race detector they still assert
+// the user-visible invariants: snapshots are complete and ordered, and
+// every submitted arrival gets exactly one durable answer.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/journal"
+	"repro/internal/online"
+	"repro/internal/trace"
+)
+
+// TestStressTraceRing hammers the lock-free ring from concurrent
+// writers while readers snapshot: every snapshot must be strictly
+// newest-first with only complete entries, and after the dust settles
+// the ring must hold exactly the last `slots` admissions.
+func TestStressTraceRing(t *testing.T) {
+	const (
+		slots     = 64
+		writers   = 8
+		perWriter = 500
+		readers   = 4
+	)
+	r := newTraceRing(slots)
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	var violations atomic.Int64
+	for i := 0; i < readers; i++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.snapshot()
+				if len(snap) > slots {
+					violations.Add(1)
+					return
+				}
+				for k, e := range snap {
+					if e.Endpoint != "stress" || e.Trace == nil || e.Seq == 0 {
+						violations.Add(1) // a torn entry escaped the ring
+						return
+					}
+					if k > 0 && snap[k-1].Seq <= e.Seq {
+						violations.Add(1) // not strictly newest-first
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				r.add(&TraceEntry{
+					Endpoint: "stress",
+					TraceID:  fmt.Sprintf("%d-%d", w, i),
+					Trace:    &trace.Node{Name: "request"},
+				})
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("%d snapshot invariant violations under concurrency", n)
+	}
+	final := r.snapshot()
+	if len(final) != slots {
+		t.Fatalf("final snapshot has %d entries, want %d", len(final), slots)
+	}
+	const total = writers * perWriter
+	for _, e := range final {
+		if e.Seq <= total-slots || e.Seq > total {
+			t.Fatalf("final ring holds seq %d, want only the last %d of %d", e.Seq, slots, total)
+		}
+	}
+}
+
+// TestStressBatcher submits arrivals from many goroutines into one
+// batcher worker: every submission must come back exactly once with a
+// distinct event sequence number and no error, and the observe hook's
+// flush sizes must account for every item.
+func TestStressBatcher(t *testing.T) {
+	const (
+		g          = 8
+		submitters = 8
+		perSub     = 200
+		total      = submitters * perSub
+	)
+	store := journal.NewMemStore()
+	jw, err := journal.NewWriter(store, "stress", journal.OpenParams{G: g, Strategy: "online-firstfit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := online.NewSession(g, online.FirstFit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed atomic.Int64
+	b := newBatcher(sess, jw, 16, 0, func(size int, results []batchResult) {
+		observed.Add(int64(size))
+	})
+
+	results := make(chan batchResult, total)
+	var wg sync.WaitGroup
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				// Identical start times: Offer rejects a start that goes
+				// backwards, and concurrent submitters have no order.
+				j := job.New(s*perSub+i, 0, 10)
+				results <- <-b.submit(j, journal.ArrivalOf(j))
+			}
+		}(s)
+	}
+	wg.Wait()
+	b.close()
+	b.wait()
+	close(results)
+
+	seqs := map[int]bool{}
+	n := 0
+	for res := range results {
+		n++
+		if res.err != nil {
+			t.Fatalf("arrival failed under concurrency: %v", res.err)
+		}
+		if seqs[res.ev.Seq] {
+			t.Fatalf("event seq %d delivered twice", res.ev.Seq)
+		}
+		seqs[res.ev.Seq] = true
+		if res.queueNS < 0 || res.flushNS < 0 || res.solveNS < 0 {
+			t.Fatalf("negative stage timing: %+v", res)
+		}
+	}
+	if n != total {
+		t.Fatalf("got %d responses, want %d", n, total)
+	}
+	if got := observed.Load(); got != total {
+		t.Fatalf("observe hook saw %d items, want %d", got, total)
+	}
+}
